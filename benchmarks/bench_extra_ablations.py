@@ -1,0 +1,115 @@
+"""Extra ablations beyond the paper's Figure 9: the design choices
+DESIGN.md calls out — auto merge, the combine stage, locality-aware
+scheduling, and spill-to-disk — each exercised by a workload built to
+engage that specific mechanism.
+"""
+
+import numpy as np
+
+from harness import MiB, format_table, report
+
+from repro.config import calibrate_cost_model, default_config
+from repro.core import Session
+from repro.dataframe import from_frame
+from repro.errors import WorkerOutOfMemory
+from repro.frame import DataFrame as LocalFrame
+
+
+def make_data(n=40_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return LocalFrame({
+        "k": rng.integers(0, n // 2, n),   # high-cardinality group key
+        "v": rng.normal(size=n),
+        "w": rng.normal(size=n),
+    })
+
+
+def run_once(local, fn, memory_ratio=4.0, chunk_fraction=1 / 64,
+             **overrides):
+    data_bytes = local.nbytes
+    cfg = default_config()
+    cfg.chunk_store_limit = max(int(data_bytes * chunk_fraction), 4096)
+    cfg.tree_reduce_threshold = cfg.chunk_store_limit // 2
+    cfg.cluster.memory_limit = max(int(data_bytes * memory_ratio), 65536)
+    calibrate_cost_model(cfg, data_bytes)
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    session = Session(cfg)
+    try:
+        df = from_frame(local, session)
+        fn(df).fetch()
+        report = session.last_report
+        return {
+            "makespan": session.cluster.clock.makespan,
+            "nodes": report.n_graph_nodes,
+            "subtasks": report.n_subtasks,
+        }
+    except WorkerOutOfMemory:
+        return None
+    finally:
+        session.close()
+
+
+def filtered_sort(df):
+    # a selective filter leaves many small chunks; auto merge glues them
+    kept = df[df["v"] > 0.8]
+    return kept.sort_values("w")
+
+
+def wide_groupby(df):
+    # high-cardinality groupby: the aggregate barely shrinks, so the
+    # combine stage is what keeps any single node's fan-in bounded
+    return df.groupby("k").agg({"v": "sum", "w": "mean"})
+
+
+def run_ablations():
+    local = make_data()
+    return {
+        "auto_merge_on": run_once(local, filtered_sort),
+        "auto_merge_off": run_once(local, filtered_sort, auto_merge=False),
+        "combine_on": run_once(local, wide_groupby, dynamic_tiling=False),
+        "combine_off": run_once(local, wide_groupby, dynamic_tiling=False,
+                                combine_stage=False),
+        "locality_on": run_once(local, wide_groupby),
+        "locality_off": run_once(local, wide_groupby,
+                                 locality_scheduling=False),
+        "spill_on_tight": run_once(local, wide_groupby, memory_ratio=0.3),
+        "spill_off_tight": run_once(local, wide_groupby, memory_ratio=0.3,
+                                    spill_to_disk=False),
+    }
+
+
+def test_extra_ablations(benchmark):
+    out = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+
+    def fmt(result):
+        if result is None:
+            return "OOM"
+        return f"{result['makespan']:.3f}s / {result['nodes']}n"
+
+    rows = [
+        ["auto merge (filter+sort)", fmt(out["auto_merge_on"]),
+         fmt(out["auto_merge_off"])],
+        ["combine stage (wide groupby, static)", fmt(out["combine_on"]),
+         fmt(out["combine_off"])],
+        ["locality scheduling", fmt(out["locality_on"]),
+         fmt(out["locality_off"])],
+        ["spill under 0.3x memory", fmt(out["spill_on_tight"]),
+         fmt(out["spill_off_tight"])],
+    ]
+    text = format_table(
+        "Extra ablations (makespan / graph nodes)",
+        ["mechanism", "on", "off"], rows,
+        note="auto merge shrinks the shuffle-stage graph; disabling spill "
+             "under tight memory must OOM; the others must not regress.",
+    )
+    report("extra_ablations", text)
+
+    # auto merge produces a smaller shuffle graph
+    assert out["auto_merge_on"]["nodes"] < out["auto_merge_off"]["nodes"]
+    # without spill, tight memory kills the job; with spill it completes
+    assert out["spill_on_tight"] is not None
+    assert out["spill_off_tight"] is None
+    # switches must not break results
+    assert out["combine_on"] is not None and out["combine_off"] is not None
+    assert out["locality_off"] is not None

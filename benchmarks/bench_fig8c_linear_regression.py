@@ -1,0 +1,62 @@
+"""Figure 8(c) — weak-scaling throughput of linear regression.
+
+Paper shape: Xorbits ~5.88x Dask's throughput on average; throughput
+grows with socket count (the engine exploits NUMA-aware bands).
+"""
+
+from harness import MiB, format_table, report
+
+from repro.baselines import PROFILES
+from repro.workloads.arrays import socket_config, weak_scaling
+
+SOCKETS = [1, 2, 4]
+BASE_ROWS = 40_000
+N_COLS = 24
+
+
+def _config_factory(profile_name):
+    profile = PROFILES[profile_name]
+
+    def factory(sockets):
+        cfg = profile.build_config(
+            n_workers=4, memory_limit=512 * MiB,
+            chunk_store_limit=2 * MiB,
+        )
+        return socket_config(sockets, cfg)
+
+    return factory
+
+
+def run_fig8c():
+    xorbits = weak_scaling("lr", SOCKETS, BASE_ROWS, N_COLS,
+                           _config_factory("xorbits"))
+    dask = weak_scaling("lr", SOCKETS, BASE_ROWS, N_COLS,
+                        _config_factory("dask"))
+    return {"xorbits": xorbits, "dask": dask}
+
+
+def test_fig8c_linear_regression(benchmark):
+    out = benchmark.pedantic(run_fig8c, rounds=1, iterations=1)
+    rows = []
+    ratios = []
+    for x, d in zip(out["xorbits"], out["dask"]):
+        ratio = x.throughput / d.throughput if d.throughput else float("inf")
+        ratios.append(ratio)
+        rows.append([
+            x.sockets, f"{x.n_rows}x{x.n_cols}",
+            f"{x.throughput / 1e6:.1f} MB/s", f"{d.throughput / 1e6:.1f} MB/s",
+            f"{ratio:.2f}x",
+        ])
+    text = format_table(
+        "Figure 8(c): linear regression weak scaling (throughput)",
+        ["sockets", "problem", "xorbits", "dask", "xorbits/dask"], rows,
+        note="Paper shape: Xorbits ~5.88x Dask on average; throughput "
+             "increases with sockets.",
+    )
+    report("fig8c_linear_regression", text)
+
+    assert all(r > 1.5 for r in ratios), "xorbits must clearly beat dask"
+    x_throughputs = [r.throughput for r in out["xorbits"]]
+    assert x_throughputs[-1] > x_throughputs[0], (
+        "weak scaling: throughput must grow with sockets"
+    )

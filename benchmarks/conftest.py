@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Heavy suites run once per benchmark (pedantic, one round): the interesting
+output is the regenerated paper table, not wall-clock statistics.
+"""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,57 @@
+"""Fraud-detection ETL on skewed transactions (the paper's UC10 story).
+
+A tiny customer table joins a large transaction table whose keys
+concentrate on a few hot customers. The example runs the same pipeline
+twice — dynamic tiling on and off — and prints the virtual makespans, so
+you can watch the broadcast-join decision pay off::
+
+    python examples/fraud_detection_etl.py
+"""
+
+import repro
+from repro.config import calibrate_cost_model, default_config
+from repro.core import Session
+from repro.dataframe import from_frame
+from repro.workloads.tpcxai import generate_uc10, uc10_pipeline
+from repro.workloads.tpch.queries import materialize
+
+MiB = 1024 * 1024
+
+
+def run_once(tables, dynamic: bool) -> tuple[float, int]:
+    cfg = default_config()
+    cfg.dynamic_tiling = dynamic
+    cfg.chunk_store_limit = 192 * 1024
+    cfg.cluster.n_workers = 2
+    cfg.cluster.memory_limit = 128 * MiB
+    # scale virtual bandwidths to the dataset so compute (and therefore
+    # skew) dominates overheads, as it does at the paper's data sizes
+    data_bytes = sum(frame.nbytes for frame in tables.values())
+    calibrate_cost_model(cfg, data_bytes)
+    session = Session(cfg)
+    try:
+        handles = {k: from_frame(v, session) for k, v in tables.items()}
+        features = materialize(uc10_pipeline(handles))
+        return session.cluster.clock.makespan, len(features)
+    finally:
+        session.close()
+
+
+def main() -> None:
+    print("generating skewed transactions (80% of rows on ~1% of keys)...")
+    tables = generate_uc10(n_customers=300, n_transactions=60_000, skew=0.8)
+
+    on, n_rows = run_once(tables, dynamic=True)
+    off, _ = run_once(tables, dynamic=False)
+
+    print(f"feature table rows:          {n_rows}")
+    print(f"dynamic tiling ON  makespan: {on:.4f}s  (broadcast join)")
+    print(f"dynamic tiling OFF makespan: {off:.4f}s  (static hash shuffle)")
+    print(f"speedup from dynamic tiling: {off / on:.2f}x")
+    print("\nThe static plan routes every hot-key row to one partition —")
+    print("one band does almost all the work, exactly the skew failure")
+    print("mode the paper reports for Dask and Modin on TPCx-AI UC10.")
+
+
+if __name__ == "__main__":
+    main()

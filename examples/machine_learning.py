@@ -1,0 +1,77 @@
+"""Distributed machine learning on the engine (the paper's Fig. 1 claim:
+"machine learning libraries like scikit-learn can be distributed with
+Xorbits' Tensor and DataFrame").
+
+Pipeline: generate → split → scale → fit OLS and Ridge → evaluate →
+cluster the residual space with K-Means. Every fit/transform is a
+map-combine-reduce job over tensor blocks::
+
+    python examples/machine_learning.py
+"""
+
+import numpy as np
+
+import repro
+import repro.numpy as rnp
+from repro.learn import (
+    KMeans,
+    LinearRegression,
+    Ridge,
+    StandardScaler,
+    mean_squared_error,
+    r2_score,
+    train_test_split,
+)
+
+
+def main() -> None:
+    repro.init(n_workers=4, chunk_store_limit=256 * 1024)
+    rng = np.random.default_rng(7)
+
+    # ---- synthetic regression problem ------------------------------------
+    n, k = 50_000, 8
+    x_values = rng.normal(0, 2, (n, k))
+    beta = np.linspace(-2, 2, k)
+    y_values = x_values @ beta + 1.5 + rng.normal(0, 0.5, n)
+    x = rnp.tensor_from_numpy(x_values)
+    y = rnp.tensor_from_numpy(y_values)
+    print(f"dataset: {n} rows x {k} features "
+          f"({x_values.nbytes / 1e6:.1f} MB), distributed over "
+          f"{len(x.execute().data.chunks)} blocks")
+
+    x_train, x_test, y_train, y_test = train_test_split(x, y, 0.2)
+    scaler = StandardScaler().fit(x_train)
+    x_train_s = scaler.transform(x_train)
+    x_test_s = scaler.transform(x_test)
+
+    # ---- ordinary least squares -------------------------------------------
+    ols = LinearRegression().fit(x_train_s, y_train)
+    pred = ols.predict(x_test_s)
+    print(f"\nOLS   r2={r2_score(y_test, pred):.4f} "
+          f"mse={mean_squared_error(y_test, pred):.4f}")
+
+    ridge = Ridge(alpha=10.0).fit(x_train_s, y_train)
+    pred_r = ridge.predict(x_test_s)
+    print(f"Ridge r2={r2_score(y_test, pred_r):.4f} "
+          f"mse={mean_squared_error(y_test, pred_r):.4f}")
+
+    # ---- clustering ----------------------------------------------------------
+    blobs = np.vstack([
+        rng.normal(center, 0.5, (4_000, 2))
+        for center in [(0, 0), (6, 6), (0, 6), (6, 0)]
+    ])
+    rng.shuffle(blobs)
+    km = KMeans(n_clusters=4, seed=0).fit(rnp.tensor_from_numpy(blobs))
+    print(f"\nKMeans converged in {km.n_iter_} iterations, "
+          f"inertia {km.inertia_:.0f}")
+    print("centers (rounded):")
+    for center in sorted(np.round(km.cluster_centers_, 1).tolist()):
+        print(f"  {center}")
+
+    session = repro.get_default_session()
+    print(f"\ntotal virtual makespan: {session.cluster.clock.makespan:.3f}s")
+    repro.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Compatibility shim so `python setup.py develop` works offline
+(environments without the `wheel` package cannot run `pip install -e .`)."""
+
+from setuptools import setup
+
+setup()

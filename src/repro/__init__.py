@@ -1,0 +1,84 @@
+"""repro — a reproduction of "Xorbits: Automating Operator Tiling for
+Distributed Data Science" (ICDE 2024).
+
+Usage mirrors the paper's Listing 2::
+
+    import repro
+    import repro.numpy as np
+    import repro.pandas as pd
+
+    repro.init(n_workers=4)
+
+    a = np.random.rand(1000, 100)
+    q, r = np.linalg.qr(a)
+    print(r)                        # deferred evaluation triggers execution
+
+    df = pd.read_parquet("data.rpq")
+    print(df.groupby("k").agg({"v": "min"}))
+
+The "cluster" is simulated: real NumPy compute in-process, virtual time
+and byte-accurate per-worker memory budgets for the distributed behaviour
+(see DESIGN.md for the substitution rationale).
+"""
+
+from .config import ClusterSpec, Config, CostModel, default_config
+from .core.session import (
+    RunReport,
+    Session,
+    get_default_session,
+    init_session,
+    stop_session,
+)
+from .dataframe import run as _run_objects
+from .errors import (
+    ApiCompatibilityError,
+    ExecutionHang,
+    ReproError,
+    WorkerOutOfMemory,
+)
+
+__version__ = "0.1.0"
+
+
+def init(config: Config | None = None, *, n_workers: int | None = None,
+         memory_limit: int | None = None, **overrides) -> Session:
+    """Start (or restart) the default session, Listing-2 style.
+
+    ``n_workers`` / ``memory_limit`` shape the simulated cluster; other
+    keyword arguments override any :class:`Config` field.
+    """
+    cfg = config if config is not None else default_config()
+    if n_workers is not None:
+        cfg.cluster.n_workers = n_workers
+    if memory_limit is not None:
+        cfg.cluster.memory_limit = memory_limit
+    return init_session(cfg, **overrides)
+
+
+def run(*objects) -> None:
+    """Materialize deferred objects immediately (``xorbits.run``)."""
+    _run_objects(*objects)
+
+
+def shutdown() -> None:
+    """Close the default session and free every cached chunk."""
+    stop_session()
+
+
+__all__ = [
+    "ApiCompatibilityError",
+    "ClusterSpec",
+    "Config",
+    "CostModel",
+    "ExecutionHang",
+    "ReproError",
+    "RunReport",
+    "Session",
+    "WorkerOutOfMemory",
+    "__version__",
+    "default_config",
+    "get_default_session",
+    "init",
+    "run",
+    "shutdown",
+]

@@ -1,0 +1,55 @@
+"""Actor messages and the delivery log.
+
+Every cross-actor call is materialized as a :class:`Message` and recorded,
+giving tests and the simulation a faithful trace of service interactions —
+the same observability a real Xoscar deployment gets from its RPC layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Message:
+    """One actor method invocation."""
+
+    sender: str
+    recipient: str
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    seq: int = 0
+
+    def describe(self) -> str:
+        return f"#{self.seq} {self.sender} -> {self.recipient}.{self.method}"
+
+
+class MessageLog:
+    """Bounded in-memory trace of delivered messages."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._messages: list[Message] = []
+        self._seq = 0
+        self.total_delivered = 0
+
+    def record(self, message: Message) -> None:
+        self._seq += 1
+        self.total_delivered += 1
+        message.seq = self._seq
+        self._messages.append(message)
+        if len(self._messages) > self.capacity:
+            del self._messages[: len(self._messages) - self.capacity]
+
+    def recent(self, n: int = 50) -> list[Message]:
+        return self._messages[-n:]
+
+    def count_for(self, recipient: str) -> int:
+        return sum(1 for m in self._messages if m.recipient == recipient)
+
+    def clear(self) -> None:
+        self._messages.clear()

@@ -1,0 +1,131 @@
+"""Actor pools and the actor system.
+
+An :class:`ActorSystem` hosts one :class:`ActorPool` per node address
+(supervisor and each worker), mirroring the Xoscar deployment the paper
+describes: services are actors created on specific nodes, and all
+inter-service communication is message delivery between pools.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from ..errors import ActorError
+from .actor import Actor, ActorRef
+from .message import Message, MessageLog
+
+
+class ActorPool:
+    """All actors living on one node address."""
+
+    def __init__(self, address: str):
+        self.address = address
+        self._actors: dict[str, Actor] = {}
+        self.stopped = False
+
+    def register(self, actor: Actor) -> None:
+        if actor.uid in self._actors:
+            raise ActorError(f"actor {actor.uid!r} already exists on {self.address!r}")
+        self._actors[actor.uid] = actor
+
+    def lookup(self, uid: str) -> Actor:
+        try:
+            return self._actors[uid]
+        except KeyError:
+            raise ActorError(f"no actor {uid!r} on {self.address!r}") from None
+
+    def remove(self, uid: str) -> Actor:
+        try:
+            return self._actors.pop(uid)
+        except KeyError:
+            raise ActorError(f"no actor {uid!r} on {self.address!r}") from None
+
+    def uids(self) -> list[str]:
+        return list(self._actors)
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self._actors
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+
+class ActorSystem:
+    """Creates pools, actors, and routes messages between them."""
+
+    def __init__(self):
+        self._pools: dict[str, ActorPool] = {}
+        self.log = MessageLog()
+        self._current_actor: Actor | None = None
+
+    # -- pool management ----------------------------------------------------
+    def create_pool(self, address: str) -> ActorPool:
+        if address in self._pools:
+            raise ActorError(f"pool {address!r} already exists")
+        pool = ActorPool(address)
+        self._pools[address] = pool
+        return pool
+
+    def get_pool(self, address: str) -> ActorPool:
+        try:
+            return self._pools[address]
+        except KeyError:
+            raise ActorError(f"no pool at {address!r}") from None
+
+    def stop_pool(self, address: str) -> None:
+        pool = self.get_pool(address)
+        for uid in pool.uids():
+            self.destroy_actor(address, uid)
+        pool.stopped = True
+        del self._pools[address]
+
+    def addresses(self) -> list[str]:
+        return list(self._pools)
+
+    # -- actor lifecycle ------------------------------------------------------
+    def create_actor(self, address: str, actor_cls: Type[Actor], *args: Any,
+                     uid: str, **kwargs: Any) -> ActorRef:
+        pool = self.get_pool(address)
+        actor = actor_cls(*args, **kwargs)
+        actor.uid = uid
+        actor.address = address
+        actor._system = self
+        pool.register(actor)
+        actor.on_start()
+        return ActorRef(self, address, uid)
+
+    def destroy_actor(self, address: str, uid: str) -> None:
+        pool = self.get_pool(address)
+        actor = pool.lookup(uid)
+        actor.on_stop()
+        pool.remove(uid)
+
+    def actor_ref(self, address: str, uid: str) -> ActorRef:
+        pool = self.get_pool(address)
+        if uid not in pool:
+            raise ActorError(f"no actor {uid!r} on {address!r}")
+        return ActorRef(self, address, uid)
+
+    def has_actor(self, address: str, uid: str) -> bool:
+        return address in self._pools and uid in self._pools[address]
+
+    # -- message delivery --------------------------------------------------------
+    def deliver(self, address: str, uid: str, method: str,
+                args: tuple, kwargs: dict) -> Any:
+        actor = self.get_pool(address).lookup(uid)
+        handler = getattr(actor, method, None)
+        if handler is None or not callable(handler):
+            raise ActorError(f"actor {uid!r} has no method {method!r}")
+        sender = self._current_actor.uid if self._current_actor is not None else "<external>"
+        self.log.record(Message(sender=sender, recipient=uid, method=method,
+                                args=args, kwargs=kwargs))
+        previous = self._current_actor
+        self._current_actor = actor
+        try:
+            return handler(*args, **kwargs)
+        finally:
+            self._current_actor = previous
+
+    def shutdown(self) -> None:
+        for address in list(self._pools):
+            self.stop_pool(address)

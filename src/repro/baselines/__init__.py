@@ -1,0 +1,49 @@
+"""``repro.baselines`` — simulated comparator engines and the API matrix."""
+
+from .api_matrix import (
+    COVERAGE_CASES,
+    ENGINE_UNSUPPORTED,
+    coverage_rate,
+    coverage_table,
+    make_fixture,
+    supported_cases,
+)
+from .base import (
+    STATUS_API,
+    STATUS_HANG,
+    STATUS_OK,
+    STATUS_OOM,
+    BaselineEngine,
+    EngineProfile,
+    EngineResult,
+    Workload,
+)
+from .engines import (
+    DATAFRAME_ENGINES,
+    DISTRIBUTED_ENGINES,
+    PROFILES,
+    all_engines,
+    make_engine,
+)
+
+__all__ = [
+    "BaselineEngine",
+    "COVERAGE_CASES",
+    "DATAFRAME_ENGINES",
+    "DISTRIBUTED_ENGINES",
+    "ENGINE_UNSUPPORTED",
+    "EngineProfile",
+    "EngineResult",
+    "PROFILES",
+    "STATUS_API",
+    "STATUS_HANG",
+    "STATUS_OK",
+    "STATUS_OOM",
+    "Workload",
+    "all_engines",
+    "coverage_rate",
+    "coverage_table",
+    "make_engine",
+    "make_fixture",
+    "supported_cases",
+]

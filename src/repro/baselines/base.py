@@ -1,0 +1,183 @@
+"""Baseline-engine framework: workloads, results, failure classification.
+
+The evaluation compares *design decisions*, not reimplementations of
+Spark/Dask/Modin: every simulated engine runs on the same substrate with
+the configuration profile the paper attributes to it (static vs dynamic
+tiling, spill policy, reduce strategy, scheduler overhead, API surface).
+Failures are classified exactly like Table II: API compatibility, hang,
+or OOM/killed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from ..config import Config, default_config
+from ..core.session import Session
+from ..dataframe import from_frame
+from ..errors import ApiCompatibilityError, ExecutionHang, WorkerOutOfMemory
+from ..frame import DataFrame as LocalFrame
+from ..workloads.tpch.queries import materialize
+
+#: Table II failure taxonomy.
+STATUS_OK = "ok"
+STATUS_API = "api"
+STATUS_HANG = "hang"
+STATUS_OOM = "oom"
+
+
+@dataclass
+class Workload:
+    """One benchmark unit: a function over a dict of dataframe handles."""
+
+    name: str
+    fn: Callable
+    features: frozenset = frozenset()
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine × workload run."""
+
+    engine: str
+    workload: str
+    status: str
+    makespan: float = 0.0
+    error: str = ""
+    value: object = None
+    peak_memory: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return self.status != STATUS_OK
+
+
+@dataclass
+class EngineProfile:
+    """Configuration profile of a simulated engine."""
+
+    name: str
+    display_name: str
+    unsupported: frozenset = frozenset()
+    #: Config feature switches applied on top of defaults.
+    overrides: dict = field(default_factory=dict)
+    #: single-node engines collapse the cluster to 1 worker / 1 thread.
+    single_node: bool = False
+    #: don't split data at all (the pandas profile).
+    single_chunk: bool = False
+    #: per-subtask scheduler overhead multiplier (central schedulers pay
+    #: more per task than peer-to-peer execution).
+    overhead_factor: float = 1.0
+    #: network bandwidth divisor (serialization boundaries, e.g. JVM↔Python).
+    network_penalty: float = 1.0
+    #: wall-time multiplier for constant per-engine costs.
+    time_factor: float = 1.0
+    #: fraction of a worker's memory actually usable for data (Ray's
+    #: object store is ~30-40% of RAM; JVM engines lose heap overhead).
+    memory_fraction: float = 1.0
+    #: classify near-limit memory pressure as a hang (Dask workers pause
+    #: at high memory fractions and can wedge instead of dying).
+    hang_memory_fraction: Optional[float] = None
+    #: classify heavy spill thrash as a hang: total spilled bytes beyond
+    #: this multiple of the worker memory limit means the workers spend
+    #: their time paging, not progressing.
+    hang_spill_factor: Optional[float] = None
+
+    def supports(self, features: frozenset) -> bool:
+        return not (features & self.unsupported)
+
+    def build_config(self, n_workers: int, memory_limit: int,
+                     chunk_store_limit: int,
+                     data_bytes: int | None = None) -> Config:
+        cfg = default_config()
+        cfg.cluster.n_workers = 1 if self.single_node else n_workers
+        cfg.cluster.bands_per_worker = 1 if self.single_node else \
+            cfg.cluster.bands_per_worker
+        cfg.cluster.threads_per_band = 1 if self.single_node else \
+            cfg.cluster.threads_per_band
+        cfg.cluster.memory_limit = max(
+            int(memory_limit * self.memory_fraction), 1
+        )
+        cfg.chunk_store_limit = (
+            10 ** 15 if self.single_chunk else chunk_store_limit
+        )
+        cfg.tree_reduce_threshold = max(chunk_store_limit // 2, 1)
+        for key, value in self.overrides.items():
+            setattr(cfg, key, value)
+        if data_bytes is not None:
+            from ..config import calibrate_cost_model
+
+            calibrate_cost_model(cfg, data_bytes)
+        cfg.cost_model.subtask_overhead *= self.overhead_factor
+        cfg.cost_model.dispatch_overhead *= self.overhead_factor
+        cfg.cost_model.network_bandwidth /= self.network_penalty
+        return cfg
+
+
+class BaselineEngine:
+    """Runs workloads under one engine profile and classifies failures."""
+
+    def __init__(self, profile: EngineProfile):
+        self.profile = profile
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def run(self, workload: Workload, tables: Mapping[str, LocalFrame],
+            n_workers: int = 4, memory_limit: int = 256 * 1024 * 1024,
+            chunk_store_limit: int = 4 * 1024 * 1024) -> EngineResult:
+        """Execute one workload; never raises — failures become results."""
+        if not self.profile.supports(workload.features):
+            missing = sorted(workload.features & self.profile.unsupported)
+            return EngineResult(
+                engine=self.name, workload=workload.name, status=STATUS_API,
+                error=f"unsupported APIs: {', '.join(missing)}",
+            )
+        data_bytes = sum(frame.nbytes for frame in tables.values())
+        cfg = self.profile.build_config(n_workers, memory_limit,
+                                        chunk_store_limit,
+                                        data_bytes=max(data_bytes, 1))
+        session = Session(cfg)
+        try:
+            handles = {
+                name: from_frame(frame, session)
+                for name, frame in tables.items()
+            }
+            value = materialize(workload.fn(handles))
+            makespan = session.cluster.clock.makespan * self.profile.time_factor
+            peak = max(session.cluster.peak_memory().values(), default=0)
+            limit = cfg.cluster.memory_limit
+            if (self.profile.hang_memory_fraction is not None
+                    and peak >= self.profile.hang_memory_fraction * limit):
+                return EngineResult(
+                    engine=self.name, workload=workload.name,
+                    status=STATUS_HANG, makespan=makespan,
+                    peak_memory=peak,
+                    error="workers paused at memory limit",
+                )
+            if (self.profile.hang_spill_factor is not None
+                    and session.storage.total_spilled_bytes
+                    > self.profile.hang_spill_factor * limit):
+                return EngineResult(
+                    engine=self.name, workload=workload.name,
+                    status=STATUS_HANG, makespan=makespan,
+                    peak_memory=peak,
+                    error="spill thrash: workers paging instead of progressing",
+                )
+            return EngineResult(
+                engine=self.name, workload=workload.name, status=STATUS_OK,
+                makespan=makespan, value=value, peak_memory=peak,
+            )
+        except WorkerOutOfMemory as exc:
+            return EngineResult(engine=self.name, workload=workload.name,
+                                status=STATUS_OOM, error=str(exc))
+        except ExecutionHang as exc:
+            return EngineResult(engine=self.name, workload=workload.name,
+                                status=STATUS_HANG, error=str(exc))
+        except ApiCompatibilityError as exc:
+            return EngineResult(engine=self.name, workload=workload.name,
+                                status=STATUS_API, error=str(exc))
+        finally:
+            session.close()

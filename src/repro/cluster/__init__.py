@@ -1,0 +1,16 @@
+"""``repro.cluster`` — simulated cluster: workers, bands, memory, clocks."""
+
+from .cluster import SUPERVISOR_ADDRESS, ClusterState
+from .resource import Band, MemoryTracker, WorkerSpec, build_workers
+from .simulation import SimClock, SimReport
+
+__all__ = [
+    "SUPERVISOR_ADDRESS",
+    "Band",
+    "ClusterState",
+    "MemoryTracker",
+    "SimClock",
+    "SimReport",
+    "WorkerSpec",
+    "build_workers",
+]

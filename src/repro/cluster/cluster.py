@@ -1,0 +1,64 @@
+"""Cluster state: supervisor + workers, their pools, trackers and clocks."""
+
+from __future__ import annotations
+
+from ..actors import ActorSystem
+from ..config import Config
+from .resource import Band, MemoryTracker, WorkerSpec, build_workers
+from .simulation import SimClock
+
+SUPERVISOR_ADDRESS = "supervisor"
+
+
+class ClusterState:
+    """Everything a running simulated cluster consists of.
+
+    Mirrors the deployment of Section III-A: one supervisor node managing
+    sessions/tasks/scheduling, N workers executing subtasks. Creating the
+    state spawns one actor pool per node; services attach themselves to
+    these pools.
+    """
+
+    def __init__(self, config: Config):
+        self.config = config
+        spec = config.cluster
+        self.workers: list[WorkerSpec] = build_workers(
+            spec.n_workers, spec.bands_per_worker,
+            spec.threads_per_band, spec.memory_limit,
+        )
+        self.bands: list[Band] = [
+            band for worker in self.workers for band in worker.bands
+        ]
+        self.memory: dict[str, MemoryTracker] = {
+            worker.name: MemoryTracker(worker.name, worker.memory_limit)
+            for worker in self.workers
+        }
+        self.clock = SimClock(self.bands, config.cost_model)
+        self.actor_system = ActorSystem()
+        self.actor_system.create_pool(SUPERVISOR_ADDRESS)
+        for worker in self.workers:
+            self.actor_system.create_pool(worker.name)
+
+    def band_by_name(self, name: str) -> Band:
+        for band in self.bands:
+            if band.name == name:
+                return band
+        raise KeyError(name)
+
+    def worker_of(self, band: Band) -> WorkerSpec:
+        for worker in self.workers:
+            if worker.name == band.worker:
+                return worker
+        raise KeyError(band.worker)
+
+    def peak_memory(self) -> dict[str, int]:
+        return {name: tracker.peak for name, tracker in self.memory.items()}
+
+    def total_memory_used(self) -> int:
+        return sum(tracker.used for tracker in self.memory.values())
+
+    def reset_clock(self) -> None:
+        self.clock = SimClock(self.bands, self.config.cost_model)
+
+    def shutdown(self) -> None:
+        self.actor_system.shutdown()

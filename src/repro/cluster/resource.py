@@ -1,0 +1,110 @@
+"""Cluster resources: bands, workers, and per-worker memory accounting.
+
+A *band* is the paper's basic scheduling/execution unit (Section V-B): a
+NUMA node or GPU of a worker. Memory is accounted per worker — the unit
+that dies when a real Dask/Modin/Ray worker OOMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import WorkerOutOfMemory
+
+
+@dataclass(frozen=True)
+class Band:
+    """One schedulable computing device of a worker."""
+
+    worker: str
+    index: int
+    threads: int = 16
+
+    @property
+    def name(self) -> str:
+        return f"{self.worker}/band-{self.index}"
+
+    def __repr__(self) -> str:
+        return f"Band({self.name})"
+
+
+class MemoryTracker:
+    """Byte-accurate memory budget of one worker.
+
+    ``allocate`` raises :class:`WorkerOutOfMemory` when the budget would be
+    exceeded — the event the benchmark harness classifies as an OOM failure
+    (Table II). ``peak`` records the high-water mark for reporting.
+    """
+
+    def __init__(self, worker: str, limit: int):
+        if limit <= 0:
+            raise ValueError("memory limit must be positive")
+        self.worker = worker
+        self.limit = int(limit)
+        self.used = 0
+        self.peak = 0
+
+    @property
+    def available(self) -> int:
+        return self.limit - self.used
+
+    def can_fit(self, nbytes: int) -> bool:
+        return self.used + int(nbytes) <= self.limit
+
+    def allocate(self, nbytes: int) -> None:
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        if self.used + nbytes > self.limit:
+            raise WorkerOutOfMemory(self.worker, nbytes, self.limit, self.used)
+        self.used += nbytes
+        self.peak = max(self.peak, self.used)
+
+    def note_transient(self, nbytes: int) -> None:
+        """Record a transient working set in the peak watermark without
+        allocating it (execution scratch space that is gone afterwards)."""
+        self.peak = max(self.peak, self.used + max(int(nbytes), 0))
+
+    def release(self, nbytes: int) -> None:
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot release negative bytes")
+        if nbytes > self.used:
+            raise ValueError(
+                f"releasing {nbytes} bytes but only {self.used} are allocated"
+            )
+        self.used -= nbytes
+
+
+@dataclass
+class WorkerSpec:
+    """Static description of one worker node."""
+
+    name: str
+    n_bands: int
+    threads_per_band: int
+    memory_limit: int
+    bands: list[Band] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.bands:
+            self.bands = [
+                Band(self.name, i, threads=self.threads_per_band)
+                for i in range(self.n_bands)
+            ]
+
+
+def build_workers(n_workers: int, bands_per_worker: int,
+                  threads_per_band: int, memory_limit: int) -> list[WorkerSpec]:
+    """Create the worker specs of a simulated cluster."""
+    if n_workers <= 0:
+        raise ValueError("need at least one worker")
+    return [
+        WorkerSpec(
+            name=f"worker-{i}",
+            n_bands=bands_per_worker,
+            threads_per_band=threads_per_band,
+            memory_limit=memory_limit,
+        )
+        for i in range(n_workers)
+    ]

@@ -1,0 +1,280 @@
+"""The graph executor: fuse → schedule → simulate → compute.
+
+Takes a chunk graph, produces subtasks via graph-level fusion, assigns
+them to bands, then walks the subtask DAG: for each subtask it fetches
+inputs from the storage service (charging transfers), runs the chunk
+operators with the single-node backends, writes outputs back (charging
+memory, possibly spilling), records metadata in the meta service, and
+advances the per-band virtual clocks.
+
+Real values are computed in-process; *time* is simulated — see
+``repro.cluster.simulation``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from ..cluster.cluster import ClusterState
+from ..cluster.simulation import SimReport
+from ..config import Config
+from ..errors import ExecutionHang, WorkerOutOfMemory
+from ..graph.dag import DAG
+from ..graph.entity import ChunkData
+from ..graph.subtask import Subtask, build_subtask_graph
+from ..storage.service import StorageService
+from ..utils import sizeof
+from .fusion import fusion_groups, singleton_groups
+from .meta import MetaService
+from .operator import ExecContext
+from .opfusion import plan_subtask, step_io_keys
+from .scheduler import Scheduler
+
+
+class GraphExecutor:
+    """Executes chunk graphs against one cluster + storage + meta state."""
+
+    def __init__(self, cluster: ClusterState, storage: StorageService,
+                 meta: MetaService, config: Config,
+                 scheduler: Scheduler | None = None):
+        self.cluster = cluster
+        self.storage = storage
+        self.meta = meta
+        self.config = config
+        self.scheduler = scheduler if scheduler is not None else Scheduler(
+            cluster, config
+        )
+        #: completion virtual time of every produced chunk key.
+        self.chunk_ready_at: dict[str, float] = {}
+        self.report = SimReport()
+        self._executed_subtasks = 0
+        #: sampling annotations produced during execute(), consumed when
+        #: the annotated chunk's meta is recorded.
+        self._pending_extra: dict[str, dict] = {}
+        #: chunk key -> is a tileable-boundary (user-visible) chunk.
+        self._terminal_keys: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    def execute(self, chunk_graph: DAG[ChunkData],
+                retain_keys: set[str] | None = None) -> SimReport:
+        """Run every not-yet-materialized chunk of ``chunk_graph``.
+
+        ``retain_keys`` are protected from the reference-count cleanup
+        (results the session or a later tiling stage will read).
+        """
+        retain = set(retain_keys or ())
+        for node in chunk_graph.nodes():
+            self._terminal_keys[node.key] = getattr(node, "terminal", False)
+        pending = [
+            node for node in chunk_graph.topological_order()
+            if not self.storage.contains(node.key)
+        ]
+        if not pending:
+            return SimReport()
+        pending_graph = chunk_graph.subgraph(pending)
+
+        if self.config.graph_fusion:
+            groups = fusion_groups(pending_graph)
+        else:
+            groups = singleton_groups(pending_graph)
+        subtask_graph = build_subtask_graph(pending_graph, groups)
+
+        input_nbytes = self._known_nbytes(subtask_graph)
+        self.scheduler.assign(subtask_graph, input_nbytes)
+
+        # serial graph-construction/dispatch overhead (auto merge exists to
+        # keep this small): charged once, before any subtask starts.
+        dispatch = self.config.cost_model.dispatch_overhead * len(pending_graph)
+        base_time = self.cluster.clock.now + dispatch
+
+        consumers = self._count_consumers(subtask_graph)
+        completion: dict[str, float] = {}
+        stage = SimReport()
+        stage.n_graph_nodes = len(pending_graph)
+
+        order = subtask_graph.topological_order()
+        if len(order) > self.config.max_idle_steps:
+            raise ExecutionHang(
+                "repro", f"subtask graph of {len(order)} nodes exceeds step budget"
+            )
+        for subtask in order:
+            end = self._run_subtask(
+                subtask, subtask_graph, completion, base_time, retain,
+                consumers, stage,
+            )
+            completion[subtask.key] = end
+        stage.makespan = max(completion.values()) if completion else base_time
+        stage.n_subtasks = len(order)
+        stage.peak_memory = self.cluster.peak_memory()
+        stage.band_busy = dict(self.cluster.clock.band_busy)
+        self._merge_report(stage)
+        return stage
+
+    # ------------------------------------------------------------------
+    def _run_subtask(self, subtask: Subtask, graph: DAG[Subtask],
+                     completion: dict[str, float], base_time: float,
+                     retain: set[str], consumers: dict[str, int],
+                     stage: SimReport) -> float:
+        band = self.cluster.band_by_name(subtask.band)
+        worker = band.worker
+        tracker = self.cluster.memory[worker]
+        cost = self.config.cost_model
+
+        # -- gather inputs --------------------------------------------------
+        env: dict[str, Any] = {}
+        input_bytes = 0
+        transferred = 0
+        disk_bytes = 0
+        ready_time = base_time
+        for pred in graph.predecessors(subtask):
+            ready_time = max(ready_time, completion[pred.key])
+        for key in subtask.input_keys:
+            info = self.storage.get(key, worker)
+            env[key] = info.value
+            input_bytes += info.nbytes
+            transferred += info.transferred_bytes
+            if info.tier_penalty > 1.0:
+                disk_bytes += info.nbytes
+            if key in self.chunk_ready_at:
+                ready_time = max(ready_time, self.chunk_ready_at[key])
+
+        # -- execute steps ---------------------------------------------------
+        steps = plan_subtask(subtask, enable=self.config.operator_fusion)
+        cpu_bytes = 0
+        executed_ops: set[int] = set()
+        # transient working set: every value resident in the subtask's
+        # local environment counts, so a fused chain over one huge chunk
+        # cannot dodge the memory budget (that is how single-node pandas
+        # dies: the whole table is one "chunk"). Values are released from
+        # the environment as soon as their last in-subtask consumer ran,
+        # like any real executor frees intermediates.
+        env_bytes = input_bytes
+        env_peak = input_bytes
+        output_key_set = set(subtask.output_keys)
+        remaining_consumers: dict[str, int] = defaultdict(int)
+        counted_ops: set[int] = set()
+        for chunk in subtask.chunks:
+            op = chunk.op
+            if op is None or id(op) in counted_ops:
+                continue
+            counted_ops.add(id(op))
+            for dep in op.inputs:
+                remaining_consumers[dep.key] += 1
+        for step in steps:
+            step_inputs, step_outputs = step_io_keys(step)
+            step_in_bytes = sum(sizeof(env[k]) for k in step_inputs if k in env)
+            for chunk in step:
+                op = chunk.op
+                if op is None or id(op) in executed_ops:
+                    continue
+                executed_ops.add(id(op))
+                ctx = ExecContext(env, self.config)
+                result = op.execute(ctx)
+                if isinstance(result, dict) and result and all(
+                    k in {o.key for o in op.outputs} for k in result
+                ):
+                    env.update(result)
+                    env_bytes += sum(sizeof(v) for v in result.values())
+                else:
+                    env[op.outputs[0].key] = result
+                    env_bytes += sizeof(result)
+                env_peak = max(env_peak, env_bytes)
+                for dep in op.inputs:
+                    remaining_consumers[dep.key] -= 1
+                    if (remaining_consumers[dep.key] <= 0
+                            and dep.key not in output_key_set
+                            and dep.key in env):
+                        env_bytes -= sizeof(env.pop(dep.key))
+                for meta_key, extra in ctx.extra_meta.items():
+                    self._pending_extra.setdefault(meta_key, {}).update(extra)
+            step_out_bytes = sum(
+                sizeof(env[k]) for k in step_outputs if k in env
+            )
+            shuffle_factor = 1.0
+            if any(c.op is not None and c.op.is_shuffle_map for c in step):
+                shuffle_factor = cost.shuffle_write_factor
+                stage.total_shuffle_bytes += int(step_out_bytes)
+            if all(c.op is not None and c.op.is_lightweight for c in step):
+                cpu_bytes += 0
+            else:
+                cpu_bytes += int(step_in_bytes + step_out_bytes * shuffle_factor)
+
+        # -- memory admission --------------------------------------------------
+        output_bytes = sum(
+            sizeof(env[key]) for key in subtask.output_keys if key in env
+        )
+        working_set = int(self.config.peak_factor * max(
+            env_peak, input_bytes + output_bytes
+        ))
+        if not tracker.can_fit(working_set):
+            if self.config.spill_to_disk:
+                self.storage.ensure_free(worker, working_set)
+            else:
+                raise WorkerOutOfMemory(worker, working_set, tracker.limit,
+                                        tracker.used)
+        tracker.note_transient(working_set)
+
+        # -- store outputs ------------------------------------------------------
+        for key in subtask.output_keys:
+            if key not in env:
+                raise KeyError(f"subtask produced no value for output {key!r}")
+            self.storage.put(key, env[key], worker)
+            extra = self._pending_extra.pop(key, None)
+            self.meta.set_from_value(key, env[key], extra=extra)
+
+        # -- charge virtual time ---------------------------------------------------
+        duration = (
+            cost.subtask_overhead
+            + self.cluster.clock.compute_cost(cpu_bytes, band)
+            + self.cluster.clock.transfer_cost(transferred)
+            + disk_bytes * (cost.disk_penalty - 1.0) / cost.network_bandwidth
+            + cost.dispatch_overhead * len(steps)
+        )
+        end = self.cluster.clock.run_subtask(band, ready_time, duration)
+        for key in subtask.output_keys:
+            self.chunk_ready_at[key] = end
+
+        stage.total_compute_seconds += duration
+        stage.total_transfer_bytes += transferred
+        self._executed_subtasks += 1
+
+        # -- reference-count cleanup --------------------------------------------------
+        # eager engines (eager_release=False) pin user-visible intermediate
+        # frames (terminal chunks) but still free internal stage chunks
+        # (map partials, shuffle partitions), like Ray's reference counting.
+        for key in subtask.input_keys:
+            consumers[key] -= 1
+            if consumers[key] <= 0 and key not in retain:
+                if self.config.eager_release or not self._terminal_keys.get(key, False):
+                    self.storage.delete(key)
+        return end
+
+    # ------------------------------------------------------------------
+    def _known_nbytes(self, subtask_graph: DAG[Subtask]) -> dict[str, int]:
+        sizes: dict[str, int] = {}
+        for subtask in subtask_graph.nodes():
+            for key in subtask.input_keys:
+                meta = self.meta.get(key)
+                if meta is not None:
+                    sizes[key] = meta.nbytes
+        return sizes
+
+    def _count_consumers(self, subtask_graph: DAG[Subtask]) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for subtask in subtask_graph.nodes():
+            for key in subtask.input_keys:
+                counts[key] += 1
+        return counts
+
+    def _merge_report(self, stage: SimReport) -> None:
+        report = self.report
+        report.makespan = max(report.makespan, stage.makespan)
+        report.total_compute_seconds += stage.total_compute_seconds
+        report.total_transfer_bytes += stage.total_transfer_bytes
+        report.total_shuffle_bytes += stage.total_shuffle_bytes
+        report.n_subtasks += stage.n_subtasks
+        report.n_graph_nodes += stage.n_graph_nodes
+        for worker, peak in stage.peak_memory.items():
+            report.peak_memory[worker] = max(report.peak_memory.get(worker, 0), peak)
+        report.band_busy = dict(stage.band_busy)

@@ -1,0 +1,92 @@
+"""The meta service: execution-time metadata that powers dynamic tiling.
+
+After a chunk executes, the executor derives its real shape, byte size,
+dtype and columns and records them here (Step 2 of Fig. 5a). The tiling
+process later reads these records to decide how to partition the rest of
+the pipeline — reduce-algorithm selection, auto merge, and iterative
+``iloc`` tiling all consume this state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..frame import DataFrame, Series
+from ..utils import sizeof
+
+
+@dataclass
+class ChunkMeta:
+    """Observed facts about one executed chunk."""
+
+    shape: tuple
+    nbytes: int
+    kind: str
+    dtype: Any = None
+    columns: Optional[list] = None
+    #: operator-specific extras, e.g. {"input_rows": ..} for agg sampling.
+    extra: dict = field(default_factory=dict)
+
+
+def meta_from_value(value: Any, extra: dict | None = None) -> ChunkMeta:
+    """Derive a :class:`ChunkMeta` from an executed chunk's value."""
+    extra = dict(extra or {})
+    if isinstance(value, DataFrame):
+        return ChunkMeta(
+            shape=value.shape, nbytes=sizeof(value), kind="dataframe",
+            columns=value.columns.to_list(), extra=extra,
+        )
+    if isinstance(value, Series):
+        return ChunkMeta(
+            shape=value.shape, nbytes=sizeof(value), kind="series",
+            dtype=value.dtype, extra=extra,
+        )
+    if isinstance(value, np.ndarray):
+        return ChunkMeta(
+            shape=value.shape, nbytes=sizeof(value), kind="tensor",
+            dtype=value.dtype, extra=extra,
+        )
+    if isinstance(value, (list, tuple, dict)):
+        return ChunkMeta(shape=(), nbytes=sizeof(value), kind="scalar", extra=extra)
+    return ChunkMeta(shape=(), nbytes=sizeof(value), kind="scalar",
+                     dtype=getattr(value, "dtype", None), extra=extra)
+
+
+class MetaService:
+    """Keyed store of chunk metadata, readable during tiling."""
+
+    def __init__(self):
+        self._metas: dict[str, ChunkMeta] = {}
+
+    def set(self, key: str, meta: ChunkMeta) -> None:
+        self._metas[key] = meta
+
+    def set_from_value(self, key: str, value: Any,
+                       extra: dict | None = None) -> ChunkMeta:
+        meta = meta_from_value(value, extra=extra)
+        self._metas[key] = meta
+        return meta
+
+    def get(self, key: str) -> Optional[ChunkMeta]:
+        return self._metas.get(key)
+
+    def require(self, key: str) -> ChunkMeta:
+        meta = self._metas.get(key)
+        if meta is None:
+            raise KeyError(f"no meta recorded for chunk {key!r}")
+        return meta
+
+    def has(self, key: str) -> bool:
+        return key in self._metas
+
+    def update_extra(self, key: str, **extra: Any) -> None:
+        self.require(key).extra.update(extra)
+
+    def delete(self, key: str) -> None:
+        self._metas.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._metas)

@@ -1,0 +1,100 @@
+"""Column pruning over the tileable graph (Section V-A).
+
+Walking backwards from the data sinks, each operator reports which
+columns of each input it needs to produce its required output columns
+(``Operator.input_column_requirements``). Requirements accumulate per
+tileable; datasource operators finally receive the pruned column list
+(``Operator.accept_pruned_columns``) so unused columns are never loaded
+from disk or moved over the network — the dataframe equivalent of
+predicate pushdown.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..graph.dag import DAG
+from ..graph.entity import TileableData
+from .operator import DataSourceOp
+
+
+def _merge(current: Optional[set], update: Optional[Sequence]) -> Optional[set]:
+    """Combine column requirements; ``None`` means "all columns"."""
+    if update is None:
+        return None
+    if current is None:
+        return None
+    return current | set(update)
+
+
+def prune_columns(graph: DAG[TileableData],
+                  results: Sequence[TileableData]) -> dict[str, Optional[list]]:
+    """Run the pruning pass; mutates datasource ops in place.
+
+    Returns the per-tileable requirement map (``None`` = all columns) for
+    introspection and testing.
+    """
+    required: dict[str, Optional[set]] = {}
+    result_keys = {t.key for t in results}
+    for node in graph.nodes():
+        if node.key in result_keys:
+            required[node.key] = None  # the user sees the full result
+        else:
+            required[node.key] = set()
+
+    for node in graph.reverse_topological_order():
+        op = node.op
+        if op is None:
+            continue
+        out_req = required.get(node.key, None)
+        out_list = sorted(out_req) if out_req is not None else None
+        per_input = op.input_column_requirements(out_list)
+        if len(per_input) != len(op.inputs):
+            raise ValueError(
+                f"{type(op).__name__} returned {len(per_input)} requirement "
+                f"lists for {len(op.inputs)} inputs"
+            )
+        for dep, cols in zip(op.inputs, per_input):
+            required[dep.key] = _merge(required.get(dep.key, set()), cols)
+
+    for node in graph.nodes():
+        op = node.op
+        if isinstance(op, DataSourceOp):
+            req = required.get(node.key)
+            _apply_datasource_pruning(node, op, req)
+
+    return {
+        key: (sorted(value) if value is not None else None)
+        for key, value in required.items()
+    }
+
+
+def _apply_datasource_pruning(node: TileableData, op,
+                              req: Optional[set]) -> None:
+    """Prune a datasource, merging with earlier queries' requirements.
+
+    Sources are shared across queries of one session: a source already
+    tiled with a pruned column set must be *re-tiled* (chunks dropped,
+    data re-read) when a later query needs columns the first one pruned
+    away — exactly what a real engine's cached scan would do.
+    """
+    prev = getattr(op, "pruned_columns", None)
+    was_pruned = getattr(op, "_prune_applied", False)
+
+    if node.is_tiled:
+        if not was_pruned:
+            return  # tiled with every column: nothing can be missing
+        have = set(prev) if prev is not None else None
+        if have is None:
+            return
+        if req is not None and req <= have:
+            return  # cached tiling already covers this query
+        merged = None if req is None else sorted(have | req)
+        node.chunks = []
+        node.nsplits = ()
+        op.accept_pruned_columns(merged)
+        op._prune_applied = merged is not None
+        return
+
+    op.accept_pruned_columns(sorted(req) if req is not None else None)
+    op._prune_applied = req is not None

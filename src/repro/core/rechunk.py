@@ -1,0 +1,107 @@
+"""Auto rechunk — Algorithm 1 of the paper.
+
+Given a raw array shape, a partial ``dim_to_size`` constraint (dimensions
+whose chunk extent the *operator* dictates, e.g. QR requires tall-and-
+skinny chunks spanning all columns), and the per-item byte size, compute
+chunk extents for the unconstrained dimensions such that every chunk fits
+the configured chunk-size limit.
+
+Worked example from Section V-D: ``shape=(10000, 10000)``,
+``dim_to_size={1: 10000}``, ``itemsize=8``, 128 MiB limit ⇒ the free
+dimension splits into ``[1677, 1677, 1677, 1677, 1677, 1615]`` — exactly
+the figures the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import TilingError
+
+
+def auto_rechunk(shape: Sequence[int], dim_to_size: Mapping[int, int],
+                 itemsize: int, chunk_limit: int) -> dict[int, list[int]]:
+    """Return per-dimension chunk extents honouring the constraints.
+
+    ``dim_to_size`` maps constrained dimensions to their (single) chunk
+    extent; every other dimension is split so a chunk occupies at most
+    ``chunk_limit`` bytes. The result maps *every* dimension to the list
+    of its chunk extents, in order, summing to the dimension's length.
+    """
+    shape = [int(s) for s in shape]
+    if any(s < 0 for s in shape):
+        raise TilingError(f"invalid shape {shape!r}")
+    if itemsize <= 0 or chunk_limit <= 0:
+        raise TilingError("itemsize and chunk_limit must be positive")
+    for dim, size in dim_to_size.items():
+        if not 0 <= dim < len(shape):
+            raise TilingError(f"dimension {dim} out of range for shape {shape!r}")
+        if size <= 0 or size > shape[dim]:
+            raise TilingError(
+                f"constrained extent {size} invalid for dimension {dim} "
+                f"of length {shape[dim]}"
+            )
+
+    result: dict[int, list[int]] = {
+        dim: [int(size)] * (shape[dim] // int(size))
+        + ([shape[dim] % int(size)] if shape[dim] % int(size) else [])
+        for dim, size in dim_to_size.items()
+    }
+    left_unsplit = {
+        dim: shape[dim] for dim in range(len(shape)) if dim not in dim_to_size
+    }
+    left_sizes: dict[int, list[int]] = {dim: [] for dim in left_unsplit}
+
+    while left_unsplit:
+        # bytes one chunk occupies across constrained AND already-resolved
+        # dimensions (the paper recomputes nbytes every iteration, line 8)
+        constrained_bytes = itemsize
+        for dim, extents in result.items():
+            if extents:
+                constrained_bytes *= max(extents)
+        divided = max(chunk_limit // max(constrained_bytes, 1), 1)
+        left_dims = len(left_unsplit)
+        cur_size = max(int(divided ** (1.0 / left_dims)), 1)
+        for dim in list(left_unsplit):
+            remaining = left_unsplit[dim]
+            piece = min(remaining, cur_size)
+            if piece > 0:
+                left_sizes[dim].append(piece)
+            left_unsplit[dim] = remaining - piece
+            if left_unsplit[dim] <= 0:
+                result[dim] = left_sizes[dim]
+                del left_unsplit[dim]
+
+    for dim, length in enumerate(shape):
+        if length == 0:
+            result[dim] = []
+        if sum(result[dim]) != length:
+            raise TilingError(
+                f"rechunk bookkeeping error on dim {dim}: "
+                f"{result[dim]} != {length}"
+            )
+    return result
+
+
+def rechunk_to_splits(shape: Sequence[int], dim_to_size: Mapping[int, int],
+                      itemsize: int, chunk_limit: int) -> tuple[tuple[int, ...], ...]:
+    """:func:`auto_rechunk` packaged as an ``nsplits`` tuple."""
+    per_dim = auto_rechunk(shape, dim_to_size, itemsize, chunk_limit)
+    return tuple(tuple(per_dim[d]) for d in range(len(shape)))
+
+
+def balanced_splits(total: int, target_bytes: int, bytes_per_item: int,
+                    max_parts: int | None = None) -> list[int]:
+    """Split ``total`` items into near-equal pieces of roughly
+    ``target_bytes`` each; used for 1-D (row-wise) dataframe tiling."""
+    if total <= 0:
+        return []
+    if bytes_per_item <= 0:
+        raise TilingError("bytes_per_item must be positive")
+    items_per_chunk = max(target_bytes // bytes_per_item, 1)
+    parts = max(math.ceil(total / items_per_chunk), 1)
+    if max_parts is not None:
+        parts = min(parts, max_parts)
+    base, rest = divmod(total, parts)
+    return [base + (1 if i < rest else 0) for i in range(parts)]

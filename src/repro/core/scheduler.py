@@ -1,0 +1,99 @@
+"""Subtask scheduling: breadth-first initial placement + locality-aware
+successor placement (Section V-B)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..cluster.cluster import ClusterState
+from ..config import Config
+from ..errors import SchedulingError
+from ..graph.dag import DAG
+from ..graph.subtask import Subtask
+
+
+class Scheduler:
+    """Assigns every subtask of a graph to a band.
+
+    - *Breadth-first*: initial subtasks (no predecessors in the graph) are
+      spread band-by-band in worker-major order, filling one worker's
+      bands before moving to the next, so co-resident sources stay close.
+    - *Locality-aware*: a successor subtask goes to the band holding the
+      most input bytes (predecessor outputs plus chunks already resident
+      in storage), breaking ties toward the least-loaded band.
+
+    ``chunk_band`` records where every produced chunk lives; it persists
+    across the partial executions of one session run so later stages see
+    earlier placements.
+    """
+
+    def __init__(self, cluster: ClusterState, config: Config,
+                 chunk_band: dict[str, str] | None = None):
+        self.cluster = cluster
+        self.config = config
+        self.chunk_band: dict[str, str] = chunk_band if chunk_band is not None else {}
+        self._band_load: dict[str, float] = {b.name: 0.0 for b in cluster.bands}
+        self._rr_cursor = 0
+        #: presumed size of a chunk with no recorded metadata yet: a fresh
+        #: full chunk. Without this, small *known* inputs (e.g. a broadcast
+        #: table) would dominate locality and funnel work onto one band.
+        self._default_nbytes = max(config.chunk_store_limit, 1)
+
+    def assign(self, graph: DAG[Subtask],
+               input_nbytes: dict[str, int] | None = None) -> None:
+        """Set ``subtask.band`` for every node of ``graph``."""
+        input_nbytes = input_nbytes or {}
+        bands = [band.name for band in self.cluster.bands]
+        if not bands:
+            raise SchedulingError("cluster has no bands")
+        for subtask in graph.topological_order():
+            preds = graph.predecessors(subtask)
+            has_located_input = any(
+                key in self.chunk_band for key in subtask.input_keys
+            )
+            if not preds and not has_located_input:
+                band = self._next_breadth_first(bands)
+            elif self.config.locality_scheduling:
+                band = self._most_local_band(subtask, input_nbytes, bands)
+            else:
+                band = self._least_loaded(bands)
+            subtask.band = band
+            estimated = sum(
+                input_nbytes.get(key, self._default_nbytes)
+                for key in subtask.input_keys
+            ) + 1
+            self._band_load[band] += estimated
+            for key in subtask.output_keys:
+                self.chunk_band[key] = band
+
+    def _next_breadth_first(self, bands: list[str]) -> str:
+        band = bands[self._rr_cursor % len(bands)]
+        self._rr_cursor += 1
+        return band
+
+    def _most_local_band(self, subtask: Subtask,
+                         input_nbytes: dict[str, int],
+                         bands: list[str]) -> str:
+        local_bytes: dict[str, int] = defaultdict(int)
+        for key in subtask.input_keys:
+            band = self.chunk_band.get(key)
+            if band is not None:
+                local_bytes[band] += input_nbytes.get(key, self._default_nbytes)
+        if not local_bytes:
+            return self._least_loaded(bands)
+        best_bytes = max(local_bytes.values())
+        candidates = [b for b, n in local_bytes.items() if n == best_bytes]
+        chosen = min(candidates, key=lambda b: self._band_load[b])
+        # balance valve: locality must not pile everything on one band —
+        # when the locality choice is far more loaded than the idlest
+        # band, moving the data is cheaper than waiting for the band.
+        least = self._least_loaded(bands)
+        if self._band_load[chosen] > 2.0 * self._band_load[least] + best_bytes:
+            return least
+        return chosen
+
+    def _least_loaded(self, bands: list[str]) -> str:
+        return min(bands, key=lambda b: self._band_load[b])
+
+    def record_chunk(self, key: str, band: str) -> None:
+        self.chunk_band[key] = band

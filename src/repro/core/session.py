@@ -1,0 +1,246 @@
+"""Sessions: the service that owns a cluster, executes tileables, and
+implements deferred evaluation.
+
+A session bundles the cluster state, storage, meta service, scheduler,
+executor and tiling engine, and exposes ``execute``/``fetch``. User-facing
+``repr`` of a distributed DataFrame/Tensor triggers ``execute`` behind
+the scenes ("deferred evaluation", Section IV-C): lazy until looked at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..actors import Actor
+from ..cluster.cluster import SUPERVISOR_ADDRESS, ClusterState
+from ..config import Config, default_config
+from ..errors import SessionError
+from ..frame import DataFrame, Series, concat
+from ..graph.dag import DAG
+from ..graph.entity import TileableData
+from ..storage.service import StorageService
+from ..storage.shuffle import ShuffleManager
+from .executor import GraphExecutor
+from .meta import MetaService
+from .pruning import prune_columns
+from .scheduler import Scheduler
+from .tiler import TilingEngine, build_tileable_graph
+
+
+@dataclass
+class RunReport:
+    """Metrics of one ``Session.execute`` call (virtual time)."""
+
+    makespan: float = 0.0
+    transferred_bytes: int = 0
+    shuffle_bytes: int = 0
+    spilled_bytes: int = 0
+    n_subtasks: int = 0
+    n_graph_nodes: int = 0
+    dynamic_yields: int = 0
+    peak_memory: dict[str, int] = field(default_factory=dict)
+
+
+class SessionActor(Actor):
+    """Supervisor-side bookkeeping actor for one session."""
+
+    def __init__(self, session_id: str):
+        super().__init__()
+        self.session_id = session_id
+        self.executed_tileables: list[str] = []
+
+    def record_execution(self, tileable_key: str) -> None:
+        self.executed_tileables.append(tileable_key)
+
+    def execution_count(self) -> int:
+        return len(self.executed_tileables)
+
+
+class Session:
+    """One user session on a (simulated) cluster."""
+
+    _counter = 0
+
+    def __init__(self, config: Config | None = None):
+        self.config = config if config is not None else default_config()
+        self.cluster = ClusterState(self.config)
+        self.storage = StorageService(self.cluster, self.config)
+        self.meta = MetaService()
+        self.scheduler = Scheduler(self.cluster, self.config)
+        self.executor = GraphExecutor(
+            self.cluster, self.storage, self.meta, self.config,
+            scheduler=self.scheduler,
+        )
+        self.tiler = TilingEngine(self.executor, self.meta, self.config)
+        self.shuffle = ShuffleManager(self.storage)
+        Session._counter += 1
+        self.session_id = f"session-{Session._counter}"
+        self._actor_ref = self.cluster.actor_system.create_actor(
+            SUPERVISOR_ADDRESS, SessionActor, self.session_id,
+            uid=f"{self.session_id}/actor",
+        )
+        self.closed = False
+        self.last_report = RunReport()
+
+    # ------------------------------------------------------------------
+    def execute(self, *tileables: TileableData) -> list[Any]:
+        """Materialize the given tileables; returns their full values."""
+        if self.closed:
+            raise SessionError(f"session {self.session_id} is closed")
+        if not tileables:
+            raise ValueError("nothing to execute")
+
+        t0 = self.cluster.clock.makespan
+        transfer0 = self.storage.total_transferred_bytes
+        spill0 = self.storage.total_spilled_bytes
+        yields0 = self.tiler.yield_count
+        subtasks0 = self.executor.report.n_subtasks
+        nodes0 = self.executor.report.n_graph_nodes
+        shuffle0 = self.executor.report.total_shuffle_bytes
+
+        graph = build_tileable_graph(list(tileables))
+        if self.config.column_pruning:
+            prune_columns(graph, list(tileables))
+        chunk_graph = self.tiler.tile(graph, list(tileables))
+        retain = {
+            chunk.key for t in tileables for chunk in t.chunks
+        }
+        self.executor.execute(chunk_graph, retain_keys=retain)
+
+        self.last_report = RunReport(
+            makespan=self.cluster.clock.makespan - t0,
+            transferred_bytes=self.storage.total_transferred_bytes - transfer0,
+            shuffle_bytes=self.executor.report.total_shuffle_bytes - shuffle0,
+            spilled_bytes=self.storage.total_spilled_bytes - spill0,
+            n_subtasks=self.executor.report.n_subtasks - subtasks0,
+            n_graph_nodes=self.executor.report.n_graph_nodes - nodes0,
+            dynamic_yields=self.tiler.yield_count - yields0,
+            peak_memory=self.cluster.peak_memory(),
+        )
+        values = [self.fetch(t) for t in tileables]
+        for tileable in tileables:
+            self._actor_ref.record_execution(tileable.key)
+        return values
+
+    # ------------------------------------------------------------------
+    def fetch(self, tileable: TileableData) -> Any:
+        """Assemble a materialized tileable's chunks into one value."""
+        if not tileable.is_tiled:
+            raise SessionError(
+                f"tileable {tileable.key} is not tiled; call execute() first"
+            )
+        values = {
+            chunk.index: self.storage.peek(chunk.key)
+            for chunk in tileable.chunks
+        }
+        return assemble(tileable.kind, values)
+
+    def is_materialized(self, tileable: TileableData) -> bool:
+        return tileable.is_tiled and all(
+            self.storage.contains(chunk.key) for chunk in tileable.chunks
+        )
+
+    # ------------------------------------------------------------------
+    def free(self, tileable: TileableData) -> None:
+        """Drop a tileable's cached chunk data (it can be recomputed)."""
+        for chunk in tileable.chunks:
+            self.storage.delete(chunk.key)
+
+    def reset_metrics(self) -> None:
+        """Fresh virtual clocks and counters (used between benchmark runs)."""
+        self.cluster.reset_clock()
+        self.executor.chunk_ready_at.clear()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.storage.clear()
+            self.cluster.shutdown()
+            self.closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def assemble(kind: str, values: dict[tuple, Any]) -> Any:
+    """Glue chunk values back into one pandas-like / NumPy object.
+
+    ``values`` maps chunk index (the distributed index of Fig. 4) to the
+    chunk's value.
+    """
+    if not values:
+        raise ValueError("no chunks to assemble")
+    if kind == "scalar":
+        (value,) = values.values()
+        return value
+    if kind in ("series", "index"):
+        ordered = [values[idx] for idx in sorted(values)]
+        if all(isinstance(v, Series) for v in ordered):
+            return concat(ordered) if len(ordered) > 1 else ordered[0]
+        return np.concatenate([np.atleast_1d(np.asarray(v)) for v in ordered])
+    if kind == "dataframe":
+        rows = sorted({idx[0] for idx in values})
+        cols = sorted({idx[1] if len(idx) > 1 else 0 for idx in values})
+        row_frames = []
+        for r in rows:
+            pieces = [values[(r, c)] for c in cols if (r, c) in values]
+            if not pieces and (r,) in values:
+                pieces = [values[(r,)]]
+            row_frames.append(
+                concat(pieces, axis=1) if len(pieces) > 1 else pieces[0]
+            )
+        return concat(row_frames) if len(row_frames) > 1 else row_frames[0]
+    if kind == "tensor":
+        ndim = len(next(iter(values)))
+        if ndim == 0:
+            (value,) = values.values()
+            return np.asarray(value)
+        if ndim == 1:
+            ordered = [np.atleast_1d(values[idx]) for idx in sorted(values)]
+            return np.concatenate(ordered)
+        rows = sorted({idx[0] for idx in values})
+        cols = sorted({idx[1] for idx in values})
+        block = [
+            [np.atleast_2d(values[(r, c)]) for c in cols if (r, c) in values]
+            for r in rows
+        ]
+        return np.block(block)
+    raise ValueError(f"cannot assemble kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# default-session management (what ``repro.init`` installs)
+# ---------------------------------------------------------------------------
+
+_default_session: Session | None = None
+
+
+def init_session(config: Config | None = None, **config_overrides) -> Session:
+    """Create and install the process-wide default session."""
+    global _default_session
+    if _default_session is not None:
+        _default_session.close()
+    cfg = config if config is not None else default_config()
+    if config_overrides:
+        cfg = cfg.copy(**config_overrides)
+    _default_session = Session(cfg)
+    return _default_session
+
+
+def get_default_session() -> Session:
+    global _default_session
+    if _default_session is None:
+        _default_session = Session(default_config())
+    return _default_session
+
+
+def stop_session() -> None:
+    global _default_session
+    if _default_session is not None:
+        _default_session.close()
+        _default_session = None

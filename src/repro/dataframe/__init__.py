@@ -1,0 +1,30 @@
+"""``repro.dataframe`` — the distributed DataFrame (``xorbits.pandas``
+equivalent): drop-in pandas-style API executed by the tiling engine."""
+
+from .core import (
+    DataFrame,
+    DistGroupBy,
+    Remote,
+    Scalar,
+    Series,
+    concat,
+    from_dict,
+    from_frame,
+    read_csv,
+    read_parquet,
+    run,
+)
+
+__all__ = [
+    "DataFrame",
+    "DistGroupBy",
+    "Remote",
+    "Scalar",
+    "Series",
+    "concat",
+    "from_dict",
+    "from_frame",
+    "read_csv",
+    "read_parquet",
+    "run",
+]

@@ -1,0 +1,148 @@
+"""Elementwise dataframe/series operators.
+
+One generic operator class covers arithmetic, comparisons, logical ops,
+projections, and per-chunk transforms: all of them map row chunks
+one-to-one, preserve the row partitioning, and are candidates for
+operator-level fusion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.operator import ExecContext, Operator, TileContext
+from ..graph.entity import TileableData
+from .utils import align_rows, chunk_index, nsplits_from_chunks, row_count
+
+
+class Elementwise(Operator):
+    """Apply ``func(chunk_value, *other_chunk_values)`` per row chunk.
+
+    ``params``:
+
+    - ``func``: the per-chunk callable (closed over scalars);
+    - ``out_kind``: "dataframe" / "series";
+    - ``out_columns``: known output columns (dataframe) or None;
+    - ``keeps_rows``: True when output rows == input rows (arithmetic),
+      False when unknown until execution (not used by plain elementwise);
+    - ``cols_required``: column-pruning hint — which input columns the
+      func touches (None = all).
+    """
+
+    is_elementwise = True
+
+    def __init__(self, func: Callable, out_kind: str,
+                 out_columns: Optional[list] = None,
+                 out_dtype=None, out_name=None,
+                 cols_required: Optional[list] = None, **params):
+        super().__init__(**params)
+        self.func = func
+        self.out_kind = out_kind
+        self.out_columns = out_columns
+        self.out_dtype = out_dtype
+        self.out_name = out_name
+        self.cols_required = cols_required
+
+    def input_column_requirements(self, required):
+        # projections know their needs exactly; for other elementwise ops
+        # the output requirement passes through, augmented by what the
+        # func itself touches.
+        if self.cols_required is None:
+            return [None for _ in self.inputs]
+        if required is None:
+            if self.out_columns is not None:
+                required = self.out_columns
+            else:
+                # series output: "all of the output" is the series itself,
+                # so the input only needs the columns the func touches
+                required = []
+        needed = sorted(set(self.cols_required) | set(required), key=str)
+        return [needed] + [None] * (len(self.inputs) - 1)
+
+    # -- tiling ---------------------------------------------------------
+    def tile(self, ctx: TileContext):
+        chunk_lists = [list(t.chunks) for t in self.inputs]
+        kinds = [t.kind for t in self.inputs]
+        if len(chunk_lists) > 1:
+            aligned = yield from align_rows(ctx, chunk_lists, kinds)
+        else:
+            aligned = chunk_lists
+        n = len(aligned[0])
+        out_chunks = []
+        n_cols = len(self.out_columns) if self.out_columns is not None else None
+        for i in range(n):
+            ins = [chunks[i] for chunks in aligned]
+            rows = row_count(ctx, ins[0])
+            shape = (rows, n_cols) if self.out_kind == "dataframe" else (rows,)
+            chunk_op = ElementwiseChunk(func=self.func)
+            out_chunks.append(chunk_op.new_chunk(
+                ins, self.out_kind, shape, chunk_index(self.out_kind, i),
+                dtype=self.out_dtype, columns=self.out_columns,
+                name=self.out_name,
+            ))
+        nsplits = nsplits_from_chunks(ctx, out_chunks, self.out_kind, n_cols)
+        return [(out_chunks, nsplits)]
+
+
+class ElementwiseChunk(Operator):
+    is_elementwise = True
+
+    def __init__(self, func: Callable, **params):
+        super().__init__(**params)
+        self.func = func
+
+    def execute(self, ctx: ExecContext):
+        values = [ctx.get(c.key) for c in self.inputs]
+        return self.func(*values)
+
+
+def build_elementwise(inputs: list[TileableData], func: Callable,
+                      out_kind: str, out_shape: tuple,
+                      out_columns: Optional[list] = None,
+                      out_dtype=None, out_name=None,
+                      cols_required: Optional[list] = None) -> TileableData:
+    """Create the logical node for an elementwise operation."""
+    op = Elementwise(func=func, out_kind=out_kind, out_columns=out_columns,
+                     out_dtype=out_dtype, out_name=out_name,
+                     cols_required=cols_required)
+    return op.new_tileable(inputs, out_kind, out_shape, dtype=out_dtype,
+                           columns=out_columns, name=out_name)
+
+
+class MapPartitions(Operator):
+    """Apply an arbitrary frame→frame function per chunk (not fusable —
+    the function may change row counts, e.g. per-chunk dropna)."""
+
+    def __init__(self, func: Callable, out_kind: str,
+                 out_columns: Optional[list] = None, out_dtype=None,
+                 keeps_rows: bool = False, **params):
+        super().__init__(**params)
+        self.func = func
+        self.out_kind = out_kind
+        self.out_columns = out_columns
+        self.out_dtype = out_dtype
+        self.keeps_rows = keeps_rows
+
+    def tile(self, ctx: TileContext):
+        chunks = list(self.inputs[0].chunks)
+        out_chunks = []
+        n_cols = len(self.out_columns) if self.out_columns is not None else None
+        for i, chunk in enumerate(chunks):
+            rows = row_count(ctx, chunk) if self.keeps_rows else None
+            shape = (rows, n_cols) if self.out_kind == "dataframe" else (rows,)
+            chunk_op = MapPartitionsChunk(func=self.func)
+            out_chunks.append(chunk_op.new_chunk(
+                [chunk], self.out_kind, shape, chunk_index(self.out_kind, i),
+                dtype=self.out_dtype, columns=self.out_columns,
+            ))
+        nsplits = nsplits_from_chunks(ctx, out_chunks, self.out_kind, n_cols)
+        return [(out_chunks, nsplits)]
+
+
+class MapPartitionsChunk(Operator):
+    def __init__(self, func: Callable, **params):
+        super().__init__(**params)
+        self.func = func
+
+    def execute(self, ctx: ExecContext):
+        return self.func(ctx.get(self.inputs[0].key))

@@ -1,0 +1,63 @@
+"""Distributed row-wise concat: re-positions input chunks without copying.
+
+Chunks of the concatenated frame are the inputs' chunks under new chunk
+indices sharing the same keys, so materializing either tileable
+materializes both — no data movement at all (columns must match; mixed
+schemas fall back to a per-chunk reindex op).
+"""
+
+from __future__ import annotations
+
+from ..core.operator import ExecContext, Operator, TileContext
+from ..graph.entity import ChunkData
+from .utils import chunk_index, nsplits_from_chunks, row_count
+
+
+class ConcatFrames(Operator):
+    def tile(self, ctx: TileContext):
+        out_chunks: list[ChunkData] = []
+        common = self.inputs[0].columns
+        same_schema = all(t.columns == common for t in self.inputs)
+        for tileable in self.inputs:
+            for chunk in tileable.chunks:
+                position = len(out_chunks)
+                if same_schema:
+                    out_chunks.append(ChunkData(
+                        chunk.kind, chunk.shape,
+                        chunk_index("dataframe", position),
+                        op=chunk.op, dtype=chunk.dtype,
+                        columns=chunk.columns, key=chunk.key,
+                    ))
+                else:
+                    op = ReindexColumns(columns=common)
+                    out_chunks.append(op.new_chunk(
+                        [chunk], "dataframe",
+                        (chunk.shape[0] if chunk.shape else None,
+                         len(common) if common else None),
+                        chunk_index("dataframe", position), columns=common,
+                    ))
+        n_cols = len(common) if common is not None else None
+        return [(out_chunks,
+                 nsplits_from_chunks(ctx, out_chunks, "dataframe", n_cols))]
+
+
+class ReindexColumns(Operator):
+    """Project a chunk onto a common column list (missing → NaN)."""
+
+    is_lightweight = True
+
+    def __init__(self, columns, **params):
+        super().__init__(**params)
+        self.columns = list(columns) if columns is not None else None
+
+    def execute(self, ctx: ExecContext):
+        import numpy as np
+
+        frame = ctx.get(self.inputs[0].key)
+        if self.columns is None:
+            return frame
+        out = frame.copy()
+        for name in self.columns:
+            if name not in out:
+                out[name] = np.nan
+        return out[self.columns]

@@ -1,0 +1,197 @@
+"""Dataframe data sources: in-memory frames, CSV files, columnar files.
+
+Datasources are where *static* tiling happens: the initial chunk layout
+comes from source size estimates (row counts × bytes/row). Everything
+after may be re-tiled dynamically. Datasources also terminate column
+pruning: ``accept_pruned_columns`` narrows what gets read at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.operator import DataSourceOp, ExecContext, Operator, TileContext
+from ..core.rechunk import balanced_splits
+from ..frame import DataFrame
+from ..frame import io as frame_io
+from ..frame.index import RangeIndex
+from ..utils import sizeof
+from .utils import chunk_index
+
+
+def _with_global_index(frame: DataFrame, start: int) -> DataFrame:
+    """Give a freshly-read chunk its position in the global row space."""
+    out = frame.copy()
+    out._index = RangeIndex(start + len(frame), start=start)
+    return out
+
+
+class FromFrame(DataSourceOp):
+    """Distribute an in-memory single-node frame (client-side data)."""
+
+    def __init__(self, frame: DataFrame, **params):
+        super().__init__(**params)
+        self.frame = frame
+        self.pruned_columns: Optional[list] = None
+
+    def accept_pruned_columns(self, required: Optional[list]) -> None:
+        if required is not None:
+            existing = set(self.frame.columns.to_list())
+            self.pruned_columns = [c for c in required if c in existing]
+
+    def _effective_frame(self) -> DataFrame:
+        if self.pruned_columns is not None and self.pruned_columns:
+            return self.frame[self.pruned_columns]
+        return self.frame
+
+    def tile(self, ctx: TileContext):
+        frame = self._effective_frame()
+        n = len(frame)
+        bytes_per_row = max(frame.nbytes // max(n, 1), 1)
+        splits = balanced_splits(n, ctx.config.chunk_store_limit, bytes_per_row)
+        if not splits:
+            splits = [0]
+        chunks = []
+        offset = 0
+        columns = frame.columns.to_list()
+        for i, rows in enumerate(splits):
+            chunk_op = FromFrameSlice(frame=frame, start=offset, stop=offset + rows)
+            chunks.append(chunk_op.new_chunk(
+                [], "dataframe", (rows, len(columns)), chunk_index("dataframe", i),
+                columns=columns,
+            ))
+            offset += rows
+        return [(chunks, (tuple(splits), (len(columns),)))]
+
+
+class FromFrameSlice(Operator):
+    """One row-range of a client frame."""
+
+    def __init__(self, frame: DataFrame, start: int, stop: int, **params):
+        super().__init__(start=start, stop=stop, **params)
+        self.frame = frame
+        self.start = start
+        self.stop = stop
+
+    def execute(self, ctx: ExecContext):
+        return self.frame.iloc[self.start:self.stop]
+
+
+class ReadParquet(DataSourceOp):
+    """Read an ``.rpq`` columnar file as a distributed dataframe.
+
+    Tiling reads only metadata (row count, columns, file size); each chunk
+    reads its own row range, and only the pruned columns, at execution.
+    """
+
+    def __init__(self, path, columns: Optional[list] = None, **params):
+        super().__init__(path=path, **params)
+        self.path = path
+        self.columns = list(columns) if columns is not None else None
+        self.pruned_columns: Optional[list] = None
+
+    def accept_pruned_columns(self, required: Optional[list]) -> None:
+        self.pruned_columns = required
+
+    def _read_columns(self, all_columns: list) -> list:
+        columns = self.columns if self.columns is not None else all_columns
+        if self.pruned_columns is not None:
+            keep = set(self.pruned_columns)
+            columns = [c for c in columns if c in keep]
+            if not columns:  # always keep at least one column
+                columns = [all_columns[0]]
+        return columns
+
+    def tile(self, ctx: TileContext):
+        meta = frame_io.parquet_metadata(self.path)
+        all_columns = [c["name"] for c in meta["columns"]]
+        columns = self._read_columns(all_columns)
+        n_rows = meta["n_rows"]
+        file_size = frame_io.parquet_file_size(self.path)
+        in_memory = int(file_size * 1.6) * max(len(columns), 1) // max(
+            len(all_columns), 1
+        )
+        bytes_per_row = max(in_memory // max(n_rows, 1), 1)
+        splits = balanced_splits(n_rows, ctx.config.chunk_store_limit,
+                                 bytes_per_row)
+        if not splits:
+            splits = [0]
+        chunks = []
+        offset = 0
+        for i, rows in enumerate(splits):
+            chunk_op = ReadParquetChunk(
+                path=self.path, columns=columns,
+                start=offset, stop=offset + rows,
+            )
+            chunks.append(chunk_op.new_chunk(
+                [], "dataframe", (rows, len(columns)),
+                chunk_index("dataframe", i), columns=columns,
+            ))
+            offset += rows
+        return [(chunks, (tuple(splits), (len(columns),)))]
+
+
+class ReadParquetChunk(Operator):
+    def execute(self, ctx: ExecContext):
+        p = self.params
+        frame = frame_io.read_parquet(
+            p["path"], columns=p["columns"], row_range=(p["start"], p["stop"])
+        )
+        return _with_global_index(frame, p["start"])
+
+
+class ReadCSV(DataSourceOp):
+    """Read a CSV file as a distributed dataframe (row-range chunks)."""
+
+    def __init__(self, path, columns: Optional[list] = None,
+                 parse_dates: Optional[list] = None, **params):
+        super().__init__(path=path, **params)
+        self.path = path
+        self.columns = list(columns) if columns is not None else None
+        self.parse_dates = list(parse_dates) if parse_dates is not None else []
+        self.pruned_columns: Optional[list] = None
+
+    def accept_pruned_columns(self, required: Optional[list]) -> None:
+        self.pruned_columns = required
+
+    def tile(self, ctx: TileContext):
+        import os
+
+        n_rows = frame_io.csv_row_count(self.path)
+        file_size = os.path.getsize(self.path)
+        bytes_per_row = max(int(file_size * 1.8) // max(n_rows, 1), 1)
+        header = frame_io.read_csv(self.path, nrows=1)
+        all_columns = header.columns.to_list()
+        columns = self.columns if self.columns is not None else all_columns
+        if self.pruned_columns is not None:
+            keep = set(self.pruned_columns)
+            columns = [c for c in columns if c in keep] or [all_columns[0]]
+        splits = balanced_splits(n_rows, ctx.config.chunk_store_limit,
+                                 bytes_per_row)
+        if not splits:
+            splits = [0]
+        chunks = []
+        offset = 0
+        for i, rows in enumerate(splits):
+            chunk_op = ReadCSVChunk(
+                path=self.path, columns=columns, start=offset, rows=rows,
+                parse_dates=self.parse_dates,
+            )
+            chunks.append(chunk_op.new_chunk(
+                [], "dataframe", (rows, len(columns)),
+                chunk_index("dataframe", i), columns=columns,
+            ))
+            offset += rows
+        return [(chunks, (tuple(splits), (len(columns),)))]
+
+
+class ReadCSVChunk(Operator):
+    def execute(self, ctx: ExecContext):
+        p = self.params
+        frame = frame_io.read_csv(
+            p["path"], usecols=p["columns"], skiprows=p["start"],
+            nrows=p["rows"], parse_dates=p["parse_dates"],
+        )
+        return _with_global_index(frame, p["start"])

@@ -1,0 +1,426 @@
+"""Distributed groupby-aggregate: the paper's flagship multi-stage operator.
+
+``GroupByAgg`` runs as map → (combine|shuffle) → reduce (Section III-C):
+
+- **map**: each input chunk aggregates locally, producing one small
+  partial frame per chunk with decomposed aggregates (mean becomes
+  sum+count, var becomes sum+sumsq+count, ...);
+- **auto reduce selection** (Section IV-C, Fig. 6a): dynamic tiling
+  executes the first few map chunks, reads the real aggregated size from
+  the meta service, and picks *tree-reduce* when the aggregate is small
+  or *shuffle-reduce* (range-partitioned by group key, boundaries sampled
+  from the executed chunks) when it is large;
+- **combine**: tree-reduce pre-aggregates ``combine_arity`` chunks at a
+  time so no single worker receives everything at once;
+- **reduce**: merges partials and finalizes derived statistics.
+
+With dynamic tiling disabled the operator falls back to the static rule
+the paper attributes to existing systems — always tree-reduce into one
+node — which is exactly what overwhelms a worker when the aggregate
+turns out to be large.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.operator import ExecContext, Operator, TileContext
+from ..frame import DataFrame, concat
+from ..frame.groupby import _how_name
+from ..graph.entity import ChunkData
+from ..utils import batched
+from .utils import chunk_index, spread_sample
+
+#: aggregations this operator can decompose for distributed execution.
+DISTRIBUTABLE = (
+    "sum", "mean", "min", "max", "count", "size", "std", "var",
+    "nunique", "first", "last", "median", "any", "all",
+)
+
+
+def normalize_agg_spec(spec, value_columns: Sequence, named: dict | None = None):
+    """Normalize user agg input to ``[(out_name, col, how), ...]``."""
+    named = named or {}
+    plan: list[tuple] = []
+    if named:
+        for out_name, (col, how) in named.items():
+            plan.append((out_name, col, how))
+        return plan
+    if isinstance(spec, str):
+        for col in value_columns:
+            plan.append((col, col, spec))
+        return plan
+    if isinstance(spec, dict):
+        multi = any(isinstance(v, (list, tuple)) for v in spec.values())
+        for col, hows in spec.items():
+            if isinstance(hows, (list, tuple)):
+                for how in hows:
+                    plan.append(((col, _how_name(how)), col, how))
+            else:
+                plan.append(((col, _how_name(hows)) if multi else col, col, hows))
+        return plan
+    if isinstance(spec, (list, tuple)):
+        for col in value_columns:
+            for how in spec:
+                plan.append(((col, _how_name(how)), col, how))
+        return plan
+    raise TypeError(f"unsupported agg spec {spec!r}")
+
+
+def _partial_columns(i: int, how: str) -> list[tuple[str, str]]:
+    """(internal partial column name, merge function) pairs for one agg."""
+    base = f"__agg{i}"
+    if how == "sum":
+        return [(f"{base}_sum", "sum")]
+    if how == "count":
+        return [(f"{base}_count", "sum")]
+    if how == "size":
+        return [(f"{base}_size", "sum")]
+    if how == "min":
+        return [(f"{base}_min", "min")]
+    if how == "max":
+        return [(f"{base}_max", "max")]
+    if how == "mean":
+        return [(f"{base}_sum", "sum"), (f"{base}_count", "sum")]
+    if how in ("var", "std"):
+        return [(f"{base}_sum", "sum"), (f"{base}_sumsq", "sum"),
+                (f"{base}_count", "sum")]
+    if how == "nunique":
+        return [(f"{base}_set", "__union")]
+    if how == "median":
+        return [(f"{base}_list", "__concat")]
+    if how == "first":
+        return [(f"{base}_first", "first")]
+    if how == "last":
+        return [(f"{base}_last", "last")]
+    if how == "any":
+        return [(f"{base}_any", "max")]
+    if how == "all":
+        return [(f"{base}_all", "min")]
+    raise ValueError(f"aggregation {how!r} cannot be distributed")
+
+
+def _union_sets(series) -> frozenset:
+    out: set = set()
+    for value in series.values:
+        if value is not None:
+            out |= value
+    return frozenset(out)
+
+
+def _concat_lists(series) -> list:
+    out: list = []
+    for value in series.values:
+        if value is not None:
+            out.extend(value)
+    return out
+
+
+class GroupByAgg(Operator):
+    """Tileable-level groupby.agg; also the class of its stage chunk ops."""
+
+    def __init__(self, by: Sequence, plan: Sequence[tuple],
+                 as_index: bool = True, **params):
+        super().__init__(**params)
+        self.by = list(by)
+        self.plan = [tuple(p) for p in plan]
+        self.as_index = as_index
+
+    # -- optimizer hooks ---------------------------------------------------
+    def input_column_requirements(self, required):
+        needed = set(self.by)
+        for out_name, col, how in self.plan:
+            if required is not None and out_name not in required and \
+                    not (isinstance(out_name, tuple) and out_name[0] in required):
+                # the caller does not consume this output column... but
+                # dropping aggregates silently would change the schema;
+                # prune only the *input* columns of unused aggregates.
+                pass
+            needed.add(col)
+        return [sorted(needed, key=str)]
+
+    # -- tiling ----------------------------------------------------------------
+    def tile(self, ctx: TileContext):
+        in_chunks = list(self.inputs[0].chunks)
+        map_chunks = [self._new_stage_chunk([c], self.STAGE_MAP, i)
+                      for i, c in enumerate(in_chunks)]
+
+        use_shuffle = False
+        boundaries = None
+        if ctx.config.dynamic_tiling and len(map_chunks) > 1:
+            sample = spread_sample(map_chunks, ctx.config.sample_chunks)
+            yield sample
+            sampled_bytes = [ctx.chunk_nbytes(c, default=0) for c in sample]
+            mean_bytes = sum(sampled_bytes) / max(len(sampled_bytes), 1)
+            est_total = mean_bytes * len(map_chunks)
+            if est_total > ctx.config.tree_reduce_threshold:
+                use_shuffle = True
+                n_reducers = int(np.clip(
+                    math.ceil(est_total / ctx.config.chunk_store_limit),
+                    2, 2 * ctx.config.cluster.n_bands,
+                ))
+                # range boundaries need keys from EVERY map chunk — group
+                # keys are often contiguous across chunks, so partial
+                # sampling would leave unsampled spans that funnel into
+                # one reducer. The maps run now anyway; this only trades
+                # pipeline overlap.
+                yield map_chunks
+                boundaries = self._sample_boundaries(ctx, map_chunks,
+                                                     n_reducers)
+                # auto merge (Section IV-C): with real sizes known, glue
+                # undersized map partials together so the shuffle stage
+                # dispatches fewer, right-sized chunks
+                from .utils import auto_merge_chunks
+
+                map_chunks = auto_merge_chunks(ctx, map_chunks, "dataframe")
+
+        if use_shuffle and boundaries is not None:
+            out_chunks = self._tile_shuffle(map_chunks, boundaries)
+        else:
+            out_chunks = self._tile_tree(ctx, map_chunks)
+
+        n_cols = len(self.plan)
+        nsplits = (tuple(None for _ in out_chunks), (n_cols,))
+        return [(out_chunks, nsplits)]
+
+    def _new_stage_chunk(self, inputs: list[ChunkData], stage: str,
+                         position: int, extra: dict | None = None) -> ChunkData:
+        op = GroupByAgg(by=self.by, plan=self.plan, as_index=self.as_index,
+                        **(extra or {}))
+        op.stage = stage
+        columns = (
+            [out for out, _, __ in self.plan] if stage == self.STAGE_REDUCE
+            else None
+        )
+        return op.new_chunk(
+            inputs, "dataframe", (None, len(self.plan)),
+            chunk_index("dataframe", position), columns=columns,
+        )
+
+    def _tile_tree(self, ctx: TileContext, map_chunks: list[ChunkData]):
+        """Tree-reduce: combine in batches, then one final reduce node."""
+        level = map_chunks
+        position = 0
+        if ctx.config.combine_stage:
+            while len(level) > ctx.config.combine_arity:
+                next_level = []
+                for batch in batched(level, ctx.config.combine_arity):
+                    next_level.append(self._new_stage_chunk(
+                        list(batch), self.STAGE_COMBINE, position
+                    ))
+                    position += 1
+                level = next_level
+        return [self._new_stage_chunk(level, self.STAGE_REDUCE, 0)]
+
+    def _sample_boundaries(self, ctx: TileContext, sample: list[ChunkData],
+                           n_reducers: int) -> list:
+        """Range-partition boundaries from executed map chunks' keys."""
+        first_key = self.by[0]
+        per_chunk = max(4000 // max(len(sample), 1), 20)
+        collected: list = []
+        for chunk in sample:
+            partial = ctx.peek(chunk.key)
+            values = partial[first_key].values
+            if len(values) > per_chunk:
+                stride = max(len(values) // per_chunk, 1)
+                values = values[::stride]
+            collected.extend(v for v in values.tolist() if v is not None)
+        if not collected:
+            return []
+        collected.sort()
+        cuts: list = []
+        for r in range(1, n_reducers):
+            cut = collected[min(
+                int(len(collected) * r / n_reducers), len(collected) - 1
+            )]
+            if not cuts or cut > cuts[-1]:
+                cuts.append(cut)
+        return cuts
+
+    def _tile_shuffle(self, map_chunks: list[ChunkData],
+                      boundaries: list) -> list[ChunkData]:
+        n_reducers = len(boundaries) + 1
+        partitions: list[list[ChunkData]] = [[] for _ in range(n_reducers)]
+        for m, map_chunk in enumerate(map_chunks):
+            part_op = GroupByPartition(
+                by=self.by, boundaries=boundaries, n_reducers=n_reducers,
+            )
+            specs = [
+                {
+                    "kind": "dataframe", "shape": (None, None),
+                    "index": (m, r),
+                }
+                for r in range(n_reducers)
+            ]
+            outs = part_op.new_chunks([map_chunk], specs)
+            for r, out in enumerate(outs):
+                partitions[r].append(out)
+        out_chunks = []
+        for r in range(n_reducers):
+            out_chunks.append(self._new_stage_chunk(
+                partitions[r], self.STAGE_REDUCE, r
+            ))
+        return out_chunks
+
+    # -- execution ---------------------------------------------------------------
+    def execute(self, ctx: ExecContext):
+        if self.stage == self.STAGE_MAP:
+            frame = ctx.get(self.inputs[0].key)
+            result = self._execute_map(frame)
+            ctx.annotate(self.outputs[0].key, input_rows=len(frame))
+            return result
+        partials = [ctx.get(c.key) for c in self.inputs]
+        partials = [p for p in partials if len(p) > 0]
+        if not partials:
+            return self._empty_result()
+        merged = self._merge_partials(partials)
+        if self.stage == self.STAGE_COMBINE:
+            return merged
+        return self._finalize(merged)
+
+    def _execute_map(self, frame: DataFrame) -> DataFrame:
+        work = frame[[c for c in frame.columns.to_list()]]
+        agg_spec: dict = {}
+        prepared: dict[str, str] = {}  # partial name -> source column
+        for i, (_out, col, how) in enumerate(self.plan):
+            for partial_name, _merge in _partial_columns(i, how):
+                stat = partial_name.rsplit("_", 1)[1]
+                if stat == "sumsq":
+                    sq_col = f"__sq{i}"
+                    if sq_col not in prepared.values():
+                        squared = work[col] * work[col]
+                        work[sq_col] = squared
+                    prepared[partial_name] = sq_col
+                else:
+                    prepared[partial_name] = col
+        grouped = work.groupby(self.by, as_index=False)
+        named: dict = {}
+        for i, (_out, col, how) in enumerate(self.plan):
+            for partial_name, _merge in _partial_columns(i, how):
+                stat = partial_name.rsplit("_", 1)[1]
+                source = prepared[partial_name]
+                named[partial_name] = (source, _map_stat_func(stat))
+        return grouped.agg(**named)
+
+    def _merge_partials(self, partials: list[DataFrame]) -> DataFrame:
+        merged = concat(partials, ignore_index=True)
+        grouped = merged.groupby(self.by, as_index=False)
+        named: dict = {}
+        for i, (_out, col, how) in enumerate(self.plan):
+            for partial_name, merge_how in _partial_columns(i, how):
+                if merge_how == "__union":
+                    named[partial_name] = (partial_name, _union_sets)
+                elif merge_how == "__concat":
+                    named[partial_name] = (partial_name, _concat_lists)
+                else:
+                    named[partial_name] = (partial_name, merge_how)
+        return grouped.agg(**named)
+
+    def _finalize(self, merged: DataFrame) -> DataFrame:
+        out = DataFrame({})
+        for key in self.by:
+            out[key] = merged[key]
+        for i, (out_name, _col, how) in enumerate(self.plan):
+            base = f"__agg{i}"
+            if how == "mean":
+                out[out_name] = merged[f"{base}_sum"] / merged[f"{base}_count"]
+            elif how in ("var", "std"):
+                n = merged[f"{base}_count"].astype(np.float64)
+                s = merged[f"{base}_sum"].astype(np.float64)
+                sq = merged[f"{base}_sumsq"].astype(np.float64)
+                var = (sq - s * s / n) / (n - 1.0)
+                var = var.where(n > 1.0, np.nan).clip(lower=0.0)
+                out[out_name] = var if how == "var" else var ** 0.5
+            elif how == "nunique":
+                out[out_name] = merged[f"{base}_set"].map(len)
+            elif how == "median":
+                out[out_name] = merged[f"{base}_list"].map(
+                    lambda values: float(np.median(values)) if values else np.nan
+                )
+            elif how == "any":
+                out[out_name] = merged[f"{base}_any"].astype(bool)
+            elif how == "all":
+                out[out_name] = merged[f"{base}_all"].astype(bool)
+            else:
+                suffix = _partial_columns(i, how)[0][0]
+                out[out_name] = merged[suffix]
+        if self.as_index:
+            return out.set_index(self.by if len(self.by) > 1 else self.by[0])
+        return out
+
+    def _empty_result(self) -> DataFrame:
+        data: dict = {key: [] for key in self.by}
+        for out_name, _col, _how in self.plan:
+            data[out_name] = []
+        frame = DataFrame(data)
+        if self.as_index:
+            return frame.set_index(self.by if len(self.by) > 1 else self.by[0])
+        return frame
+
+
+def _map_stat_func(stat: str):
+    """Per-chunk aggregation function for one partial statistic."""
+    if stat == "set":
+        return lambda s: frozenset(s.dropna().values.tolist())
+    if stat == "list":
+        return lambda s: [v for v in s.values.tolist()
+                          if v is not None and not _is_nan(v)]
+    if stat == "sumsq":
+        return "sum"
+    if stat == "any":
+        return "any"
+    if stat == "all":
+        return "all"
+    return stat
+
+
+def _is_nan(value) -> bool:
+    return isinstance(value, float) and math.isnan(value)
+
+
+class GroupByPartition(Operator):
+    """Shuffle-map: split a map-stage partial frame into key ranges.
+
+    Produces one output chunk per reducer; ranges come from boundaries
+    sampled during dynamic tiling, so reducers receive balanced, ordered
+    key ranges and the concatenated result is globally key-sorted.
+    """
+
+    is_shuffle_map = True
+
+    def __init__(self, by: Sequence, boundaries: list, n_reducers: int,
+                 **params):
+        super().__init__(**params)
+        self.by = list(by)
+        self.boundaries = boundaries
+        self.n_reducers = n_reducers
+
+    def execute(self, ctx: ExecContext):
+        frame = ctx.get(self.inputs[0].key)
+        keys = frame[self.by[0]].values
+        assignment = assign_range_partitions(keys, self.boundaries)
+        out: dict = {}
+        for r, chunk in enumerate(self.outputs):
+            mask = assignment == r
+            out[chunk.key] = frame[mask]
+        return out
+
+
+def assign_range_partitions(keys: np.ndarray, boundaries: list) -> np.ndarray:
+    """Partition ids via binary search over the sampled boundaries."""
+    if not boundaries:
+        return np.zeros(len(keys), dtype=np.int64)
+    out = np.empty(len(keys), dtype=np.int64)
+    for i, key in enumerate(keys.tolist()):
+        lo, hi = 0, len(boundaries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key is not None and key <= boundaries[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        out[i] = lo
+    return out

@@ -1,0 +1,111 @@
+"""Distributed cumulative operations (prefix scans).
+
+``cumsum`` over row chunks needs every earlier chunk's total before a
+chunk can finish — the classic three-stage scan: per-chunk reduce,
+exclusive prefix over the (tiny) partials on one node, then a per-chunk
+local scan shifted by its offset. Another operator family the paper's
+"pandas semantics preserved" claim needs (ordering-aware, like ``iloc``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.operator import ExecContext, Operator, TileContext
+from ..frame import Series
+from .utils import chunk_index, nsplits_from_chunks, row_count
+
+_SCANS = {
+    "cumsum": (lambda s: s.sum(), lambda s: s.cumsum(), 0.0),
+    "cummax": (lambda s: s.max(), lambda s: s.cummax(), -np.inf),
+    "cummin": (lambda s: s.min(), lambda s: s.cummin(), np.inf),
+}
+
+
+def _combine(how: str, offset: float, value):
+    if how == "cumsum":
+        return value + offset
+    if how == "cummax":
+        return np.maximum(value, offset)
+    return np.minimum(value, offset)
+
+
+class CumScan(Operator):
+    """Tileable-level cumulative op over a distributed series."""
+
+    def __init__(self, how: str, **params):
+        super().__init__(**params)
+        if how not in _SCANS:
+            raise ValueError(f"unsupported scan {how!r}")
+        self.how = how
+
+    def tile(self, ctx: TileContext):
+        chunks = list(self.inputs[0].chunks)
+        name = self.inputs[0].name
+        if len(chunks) == 1:
+            op = CumScanApply(how=self.how, position=0)
+            out = op.new_chunk([chunks[0]], "series",
+                               (row_count(ctx, chunks[0]),), (0,), name=name)
+            return [([out], nsplits_from_chunks(ctx, [out], "series"))]
+
+        partials = []
+        for i, chunk in enumerate(chunks):
+            op = CumScanPartial(how=self.how)
+            partials.append(op.new_chunk([chunk], "scalar", (), ()))
+        offsets_op = CumScanOffsets(how=self.how)
+        offsets = offsets_op.new_chunk(partials, "scalar", (), ())
+        out_chunks = []
+        for i, chunk in enumerate(chunks):
+            op = CumScanApply(how=self.how, position=i)
+            out_chunks.append(op.new_chunk(
+                [chunk, offsets], "series", (row_count(ctx, chunk),),
+                chunk_index("series", i), name=name,
+            ))
+        return [(out_chunks, nsplits_from_chunks(ctx, out_chunks, "series"))]
+
+
+class CumScanPartial(Operator):
+    def __init__(self, how: str, **params):
+        super().__init__(**params)
+        self.how = how
+
+    def execute(self, ctx: ExecContext):
+        reduce_fn, _, __ = _SCANS[self.how]
+        return float(reduce_fn(ctx.get(self.inputs[0].key)))
+
+
+class CumScanOffsets(Operator):
+    """Exclusive prefix combine of the per-chunk partials (tiny)."""
+
+    def __init__(self, how: str, **params):
+        super().__init__(**params)
+        self.how = how
+
+    def execute(self, ctx: ExecContext):
+        _, __, identity = _SCANS[self.how]
+        partials = [ctx.get(c.key) for c in self.inputs]
+        offsets = [identity]
+        for value in partials[:-1]:
+            offsets.append(float(_combine(self.how, offsets[-1], value)))
+        return np.asarray(offsets, dtype=np.float64)
+
+
+class CumScanApply(Operator):
+    def __init__(self, how: str, position: int, **params):
+        super().__init__(**params)
+        self.how = how
+        self.position = position
+
+    def execute(self, ctx: ExecContext):
+        series: Series = ctx.get(self.inputs[0].key)
+        _, scan_fn, identity = _SCANS[self.how]
+        local = scan_fn(series)
+        if len(self.inputs) == 1:
+            return local
+        offsets = ctx.get(self.inputs[1].key)
+        offset = float(offsets[self.position])
+        if offset == identity:
+            return local
+        values = _combine(self.how, offset,
+                          np.asarray(local.values, dtype=np.float64))
+        return Series(values, index=local.index, name=local.name)

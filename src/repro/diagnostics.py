@@ -1,0 +1,119 @@
+"""Introspection tools: computation-graph export and execution reports.
+
+Distributed engines live or die by their observability — these helpers
+render the three plan levels and the simulated execution so users (and
+the test suite) can see what the optimizer actually did.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Optional
+
+from .core.session import Session
+from .graph.dag import DAG
+from .graph.entity import ChunkData, TileableData
+from .utils import human_bytes
+
+
+def _node_label(node) -> str:
+    op_name = type(node.op).__name__ if node.op is not None else "Data"
+    if node.op is not None and node.op.stage is not None:
+        op_name += f"::{node.op.stage}"
+    shape = "x".join("?" if s is None else str(s) for s in node.shape)
+    return f"{op_name}\\n{shape}"
+
+
+def graph_to_dot(graph: DAG, name: str = "plan") -> str:
+    """Render a tileable or chunk graph as Graphviz dot source."""
+    out = StringIO()
+    out.write(f"digraph {name} {{\n")
+    out.write("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+    ids = {node.key: f"n{i}" for i, node in enumerate(graph.nodes())}
+    for node in graph.nodes():
+        shape_attr = "ellipse" if node.op is not None else "box"
+        out.write(
+            f'  {ids[node.key]} [label="{_node_label(node)}", '
+            f'shape={shape_attr}];\n'
+        )
+    for node in graph.nodes():
+        for succ in graph.successors(node):
+            out.write(f"  {ids[node.key]} -> {ids[succ.key]};\n")
+    out.write("}\n")
+    return out.getvalue()
+
+
+def describe_tileable(tileable: TileableData) -> str:
+    """One-paragraph summary of a tileable's tiling state."""
+    lines = [
+        f"tileable {tileable.key}",
+        f"  kind:    {tileable.kind}",
+        f"  shape:   {tileable.shape}",
+        f"  op:      {type(tileable.op).__name__ if tileable.op else 'Data'}",
+    ]
+    if tileable.is_tiled:
+        lines.append(f"  chunks:  {len(tileable.chunks)}")
+        lines.append(f"  nsplits: {tileable.nsplits}")
+    else:
+        lines.append("  chunks:  (not tiled yet)")
+    return "\n".join(lines)
+
+
+def lineage(tileable: TileableData, max_depth: int = 20) -> str:
+    """The operator chain leading to a tileable, innermost first."""
+    steps = []
+    node: Optional[TileableData] = tileable
+    depth = 0
+    while node is not None and depth < max_depth:
+        op_name = type(node.op).__name__ if node.op is not None else "Data"
+        shape = "x".join("?" if s is None else str(s) for s in node.shape)
+        steps.append(f"{op_name}[{shape}]")
+        node = node.inputs[0] if node.op is not None and node.inputs else None
+        depth += 1
+    return " <- ".join(steps)
+
+
+def band_timeline(session: Session, width: int = 60) -> str:
+    """ASCII utilization bars per band for the session's virtual clock."""
+    clock = session.cluster.clock
+    makespan = clock.makespan
+    lines = [f"virtual makespan: {makespan:.4f}s"]
+    if makespan <= 0:
+        return lines[0]
+    for band, busy in sorted(clock.band_busy.items()):
+        fraction = min(busy / makespan, 1.0)
+        filled = int(round(fraction * width))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{band:20s} |{bar}| {fraction * 100:5.1f}% busy")
+    return "\n".join(lines)
+
+
+def memory_report(session: Session) -> str:
+    """Per-worker memory state: used, peak, limit, spilled."""
+    lines = ["worker memory (used / peak / limit):"]
+    for name, tracker in sorted(session.cluster.memory.items()):
+        lines.append(
+            f"  {name:12s} {human_bytes(tracker.used):>10s} / "
+            f"{human_bytes(tracker.peak):>10s} / "
+            f"{human_bytes(tracker.limit):>10s}"
+        )
+    lines.append(
+        f"total spilled: {human_bytes(session.storage.total_spilled_bytes)}"
+    )
+    lines.append(
+        f"total transferred: "
+        f"{human_bytes(session.storage.total_transferred_bytes)}"
+    )
+    return "\n".join(lines)
+
+
+def session_summary(session: Session) -> str:
+    """Everything at a glance: last run, bands, memory."""
+    report = session.last_report
+    head = (
+        f"last run: {report.n_subtasks} subtasks over "
+        f"{report.n_graph_nodes} chunk nodes, "
+        f"{report.dynamic_yields} dynamic-tiling switches, "
+        f"makespan {report.makespan:.4f}s"
+    )
+    return "\n\n".join([head, band_timeline(session), memory_report(session)])

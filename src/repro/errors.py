@@ -1,0 +1,90 @@
+"""Exception hierarchy for the repro engine.
+
+The benchmark harness classifies failures by exception type to regenerate
+Table I (failed queries per engine) and Table II (failure reasons), so the
+classes here mirror the paper's failure taxonomy: API compatibility
+failures, hangs, and out-of-memory kills.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ApiCompatibilityError(ReproError):
+    """An engine does not support a pandas/NumPy API or usage pattern.
+
+    Simulated baseline engines raise this when user code touches an
+    operator outside their supported surface (e.g. ``iloc`` on a
+    row-only-partitioned dataframe), matching the "API Compatibility"
+    failure category of Table II.
+    """
+
+    def __init__(self, api: str, engine: str = "", reason: str = ""):
+        self.api = api
+        self.engine = engine
+        self.reason = reason
+        detail = f"API {api!r} is not supported"
+        if engine:
+            detail += f" by engine {engine!r}"
+        if reason:
+            detail += f": {reason}"
+        super().__init__(detail)
+
+
+class WorkerOutOfMemory(ReproError, MemoryError):
+    """A simulated worker exceeded its memory budget.
+
+    Corresponds to the "OOM or Killed" failure category of Table II.
+    """
+
+    def __init__(self, worker: str, requested: int, limit: int, used: int):
+        self.worker = worker
+        self.requested = requested
+        self.limit = limit
+        self.used = used
+        super().__init__(
+            f"worker {worker!r} out of memory: requested {requested} bytes "
+            f"with {used}/{limit} bytes already in use"
+        )
+
+
+class ExecutionHang(ReproError):
+    """The simulated engine made no progress within its step budget.
+
+    Corresponds to the "Hang" failure category of Table II.
+    """
+
+    def __init__(self, engine: str, detail: str = ""):
+        self.engine = engine
+        super().__init__(f"engine {engine!r} hang detected{': ' + detail if detail else ''}")
+
+
+class StorageKeyError(ReproError, KeyError):
+    """A chunk key was not found in any storage tier."""
+
+
+class StorageFull(ReproError):
+    """A storage tier cannot accept more data and spilling is disabled."""
+
+
+class TilingError(ReproError):
+    """Dynamic tiling could not produce a valid chunk layout."""
+
+
+class GraphError(ReproError):
+    """Malformed computation graph (cycles, dangling edges, ...)."""
+
+
+class SchedulingError(ReproError):
+    """No band satisfies a subtask's placement constraints."""
+
+
+class ActorError(ReproError):
+    """Actor framework failure (unknown actor, dead pool, ...)."""
+
+
+class SessionError(ReproError):
+    """Operations on a missing or closed session."""

@@ -1,0 +1,68 @@
+"""``repro.frame`` — a from-scratch single-node dataframe library.
+
+This package is the pandas stand-in of the reproduction: the distributed
+engine (``repro.dataframe``) executes every chunk with these kernels, the
+same way Xorbits uses pandas as its execution backend (Section III-C).
+
+Public surface mirrors the pandas names the paper's workloads use::
+
+    from repro import frame as pf
+
+    df = pf.DataFrame({"a": [1, 2, 3], "b": [1.0, 2.0, 3.0]})
+    df.groupby("a").agg({"b": "sum"})
+    pf.merge(df, df, on="a")
+"""
+
+from .concat import concat
+from .dataframe import DataFrame
+from .datetimes import date_range, to_datetime
+from .describe import describe
+from .groupby import AGGREGATIONS, DataFrameGroupBy, SeriesGroupBy
+from .index import Index, MultiIndex, RangeIndex
+from .io import (
+    csv_row_count,
+    parquet_file_size,
+    parquet_metadata,
+    read_csv,
+    read_parquet,
+    to_csv,
+    to_parquet,
+)
+from .join import merge
+from .pivot import pivot_table
+from .reshape import cut, get_dummies, melt, qcut
+from .window import Rolling, corr, cov, rank, sample
+from .series import Series
+
+__all__ = [
+    "AGGREGATIONS",
+    "DataFrame",
+    "DataFrameGroupBy",
+    "Index",
+    "MultiIndex",
+    "RangeIndex",
+    "Series",
+    "SeriesGroupBy",
+    "Rolling",
+    "concat",
+    "corr",
+    "cov",
+    "csv_row_count",
+    "cut",
+    "date_range",
+    "get_dummies",
+    "melt",
+    "qcut",
+    "rank",
+    "sample",
+    "describe",
+    "merge",
+    "parquet_file_size",
+    "parquet_metadata",
+    "pivot_table",
+    "read_csv",
+    "read_parquet",
+    "to_csv",
+    "to_datetime",
+    "to_parquet",
+]

@@ -1,0 +1,34 @@
+"""``DataFrame.describe`` — summary statistics of numeric columns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import dtypes
+from .dataframe import DataFrame
+from .index import Index
+
+_STATS = ("count", "mean", "std", "min", "25%", "50%", "75%", "max")
+
+
+def describe(frame: DataFrame) -> DataFrame:
+    numeric = [c for c in frame._columns if dtypes.is_numeric(frame._data[c].dtype)]
+    if not numeric:
+        raise ValueError("describe requires at least one numeric column")
+    data: dict = {}
+    for name in numeric:
+        series = frame[name]
+        data[name] = np.array(
+            [
+                float(series.count()),
+                float(series.mean()),
+                float(series.std()),
+                float(series.min()),
+                series.quantile(0.25),
+                series.quantile(0.50),
+                series.quantile(0.75),
+                float(series.max()),
+            ],
+            dtype=np.float64,
+        )
+    return DataFrame(data, index=Index(np.array(_STATS, dtype=object)))

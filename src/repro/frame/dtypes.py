@@ -1,0 +1,143 @@
+"""Dtype handling and missing-value semantics for ``repro.frame``.
+
+The conventions mirror pandas 1.x semantics on NumPy storage:
+
+- float columns use ``nan`` as the missing marker;
+- object columns use ``None`` (``nan`` is also recognized);
+- integer and boolean columns cannot hold missing values — operations that
+  would introduce one promote the column to float / object first;
+- ``datetime64[ns]`` columns use ``NaT``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+
+def object_array(values: Iterable) -> np.ndarray:
+    """A 1-D object array of arbitrary items — safe for tuples, which
+    ``np.array`` would otherwise turn into extra dimensions."""
+    items = list(values)
+    out = np.empty(len(items), dtype=object)
+    for i, item in enumerate(items):
+        out[i] = item
+    return out
+
+
+def as_array(values: Any) -> np.ndarray:
+    """Coerce arbitrary column input to a 1-D NumPy array.
+
+    Strings become object arrays (never ``<U`` fixed-width arrays) so that
+    assignment and concatenation cannot silently truncate.
+    """
+    if isinstance(values, np.ndarray):
+        arr = values
+    else:
+        arr = np.asarray(values)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"columns must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in ("U", "S"):
+        arr = arr.astype(object)
+    return arr
+
+
+def is_numeric(dtype: np.dtype) -> bool:
+    """True for integer, float, and boolean dtypes."""
+    return dtype.kind in ("i", "u", "f", "b")
+
+
+def is_float(dtype: np.dtype) -> bool:
+    return dtype.kind == "f"
+
+
+def is_integer(dtype: np.dtype) -> bool:
+    return dtype.kind in ("i", "u")
+
+
+def is_bool(dtype: np.dtype) -> bool:
+    return dtype.kind == "b"
+
+
+def is_object(dtype: np.dtype) -> bool:
+    return dtype == object
+
+
+def is_datetime(dtype: np.dtype) -> bool:
+    return dtype.kind == "M"
+
+
+def isna_array(arr: np.ndarray) -> np.ndarray:
+    """Boolean mask of missing entries under the conventions above."""
+    if arr.dtype.kind == "f":
+        return np.isnan(arr)
+    if arr.dtype.kind == "M":
+        return np.isnat(arr)
+    if arr.dtype == object:
+        mask = np.empty(len(arr), dtype=bool)
+        for i, value in enumerate(arr):
+            mask[i] = value is None or (isinstance(value, float) and np.isnan(value))
+        return mask
+    return np.zeros(len(arr), dtype=bool)
+
+
+def na_value_for(dtype: np.dtype) -> Any:
+    """The missing-value marker appropriate for ``dtype``."""
+    if dtype.kind == "M":
+        return np.datetime64("NaT")
+    if dtype == object:
+        return None
+    return np.nan
+
+
+def promote_for_na(arr: np.ndarray) -> np.ndarray:
+    """Return an array of a dtype able to hold missing values.
+
+    Integers and booleans are promoted to float64; everything else is
+    returned unchanged.
+    """
+    if arr.dtype.kind in ("i", "u", "b"):
+        return arr.astype(np.float64)
+    return arr
+
+
+def common_dtype(dtypes: Iterable[np.dtype]) -> np.dtype:
+    """The dtype able to hold values of all ``dtypes`` (pandas-style).
+
+    Mixing object with anything yields object; mixing datetimes with
+    non-datetimes yields object; otherwise defer to NumPy promotion.
+    """
+    dtype_list = list(dtypes)
+    if not dtype_list:
+        raise ValueError("common_dtype of no dtypes")
+    if any(dt == object for dt in dtype_list):
+        return np.dtype(object)
+    kinds = {dt.kind for dt in dtype_list}
+    if "M" in kinds and kinds != {"M"}:
+        return np.dtype(object)
+    result = dtype_list[0]
+    for dt in dtype_list[1:]:
+        result = np.promote_types(result, dt)
+    return result
+
+
+def values_equal(left: np.ndarray, right: np.ndarray) -> bool:
+    """Element-wise equality treating missing values as equal to each other."""
+    if len(left) != len(right):
+        return False
+    left_na = isna_array(left)
+    right_na = isna_array(right)
+    if not np.array_equal(left_na, right_na):
+        return False
+    if left.dtype == object or right.dtype == object:
+        for lv, rv, na in zip(left, right, left_na):
+            if na:
+                continue
+            if lv != rv:
+                return False
+        return True
+    mask = ~left_na
+    return bool(np.array_equal(left[mask], right[mask]))

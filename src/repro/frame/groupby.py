@@ -1,0 +1,470 @@
+"""Group-by machinery: factorization of keys plus per-group aggregation.
+
+The distributed ``GroupByAgg`` operator (map/combine/reduce stages) calls
+these single-node kernels on each chunk, so the aggregation set here defines
+what the engine can distribute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from . import dtypes
+from .dataframe import DataFrame
+from .index import Index, MultiIndex
+from .series import Series
+
+#: aggregations with a NumPy ``reduceat`` fast path.
+_REDUCEAT_OPS = {"sum", "min", "max"}
+
+#: every aggregation the engine understands.
+AGGREGATIONS = (
+    "sum", "mean", "min", "max", "count", "size", "std", "var",
+    "nunique", "first", "last", "median", "prod", "any", "all",
+)
+
+
+def factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode values as integer codes; missing entries get code -1.
+
+    Returns ``(codes, uniques)`` with uniques in sorted order, so equal key
+    sets factorize identically on every chunk — a property the distributed
+    shuffle relies on.
+    """
+    mask = dtypes.isna_array(values)
+    if dtypes.is_object(values.dtype):
+        kept = values[~mask]
+        uniques_list = sorted(set(kept.tolist()), key=_mixed_key)
+        mapping = {v: i for i, v in enumerate(uniques_list)}
+        codes = np.full(len(values), -1, dtype=np.int64)
+        for i, value in enumerate(values):
+            if not mask[i]:
+                codes[i] = mapping[value]
+        uniques = np.array(uniques_list, dtype=object)
+        return codes, uniques
+    uniques, inverse = np.unique(values[~mask], return_inverse=True)
+    codes = np.full(len(values), -1, dtype=np.int64)
+    codes[~mask] = inverse
+    return codes, uniques
+
+
+def _mixed_key(value):
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return ("", float(value))
+    return (type(value).__name__, value)
+
+
+class Grouper:
+    """Resolved grouping: row codes, group labels, and ordering."""
+
+    def __init__(self, key_arrays: Sequence[np.ndarray], key_names: Sequence):
+        if not key_arrays:
+            raise ValueError("groupby requires at least one key")
+        self.key_names = list(key_names)
+        codes_list, uniques_list = [], []
+        for arr in key_arrays:
+            codes, uniques = factorize(arr)
+            codes_list.append(codes)
+            uniques_list.append(uniques)
+        combined = codes_list[0].copy()
+        valid = codes_list[0] >= 0
+        for codes, uniques in zip(codes_list[1:], uniques_list[1:]):
+            combined = combined * len(uniques) + codes
+            valid &= codes >= 0
+        combined[~valid] = -1
+        # compress combined codes to dense 0..k-1 in sorted-key order
+        present = np.unique(combined[valid]) if valid.any() else np.array([], dtype=np.int64)
+        remap = {code: i for i, code in enumerate(present.tolist())}
+        dense = np.full(len(combined), -1, dtype=np.int64)
+        for i, code in enumerate(combined):
+            if code >= 0:
+                dense[i] = remap[code]
+        self.codes = dense
+        self.n_groups = len(present)
+        # reconstruct per-level labels for each dense group id
+        self.group_keys: list[tuple] = []
+        sizes = [len(u) for u in uniques_list]
+        for code in present.tolist():
+            parts = []
+            rest = code
+            for size in reversed(sizes[1:]):
+                rest, part = divmod(rest, size)
+                parts.append(part)
+            parts.append(rest)
+            parts.reverse()
+            self.group_keys.append(
+                tuple(uniques_list[level][p] for level, p in enumerate(parts))
+            )
+
+    def result_index(self) -> Index:
+        if len(self.key_names) == 1:
+            values = np.array([k[0] for k in self.group_keys], dtype=object)
+            return Index(_maybe_tighten(values), name=self.key_names[0])
+        return MultiIndex(self.group_keys, names=self.key_names)
+
+    def sorted_layout(self) -> tuple[np.ndarray, np.ndarray]:
+        """Row order grouping equal keys together, plus group boundaries.
+
+        Returns ``(order, starts)`` where ``order`` drops NA-key rows and
+        ``starts`` has one entry per group (positions into ``order``).
+        """
+        valid = np.flatnonzero(self.codes >= 0)
+        order = valid[np.argsort(self.codes[valid], kind="stable")]
+        sorted_codes = self.codes[order]
+        if len(order) == 0:
+            return order, np.array([], dtype=np.int64)
+        starts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(sorted_codes)) + 1]
+        ).astype(np.int64)
+        return order, starts
+
+
+def _maybe_tighten(values: np.ndarray) -> np.ndarray:
+    kinds = {type(v) for v in values.tolist()}
+    if kinds and kinds <= {int, np.int64}:
+        return values.astype(np.int64)
+    if kinds and kinds <= {int, float, np.int64, np.float64}:
+        return values.astype(np.float64)
+    return values
+
+
+def _aggregate_column(values: np.ndarray, order: np.ndarray,
+                      starts: np.ndarray, how: str | Callable) -> np.ndarray:
+    """Aggregate one column over the grouped layout."""
+    n_groups = len(starts)
+    sorted_values = values[order]
+    if callable(how):
+        out = np.empty(n_groups, dtype=object)
+        bounds = np.append(starts, len(order))
+        for g in range(n_groups):
+            seg = sorted_values[starts[g]:bounds[g + 1]]
+            out[g] = how(Series(seg))
+        return _maybe_tighten(out)
+
+    numeric = dtypes.is_numeric(sorted_values.dtype)
+    if how in _REDUCEAT_OPS and numeric and len(order) and not (
+        dtypes.is_float(sorted_values.dtype) and np.isnan(sorted_values).any()
+    ):
+        ufunc = {"sum": np.add, "min": np.minimum, "max": np.maximum}[how]
+        work = sorted_values.astype(np.float64) if how == "sum" and dtypes.is_bool(
+            sorted_values.dtype) else sorted_values
+        return ufunc.reduceat(work, starts)
+    if how in ("count", "size") and len(order):
+        bounds = np.append(starts, len(order))
+        lengths = np.diff(bounds)
+        if how == "size":
+            return lengths.astype(np.int64)
+        na = dtypes.isna_array(sorted_values).astype(np.int64)
+        na_per_group = np.add.reduceat(na, starts) if len(starts) else np.array([], dtype=np.int64)
+        return (lengths - na_per_group).astype(np.int64)
+
+    bounds = np.append(starts, len(order))
+    out = np.empty(n_groups, dtype=object)
+    for g in range(n_groups):
+        seg = Series(sorted_values[starts[g]:bounds[g + 1]])
+        if how == "size":
+            out[g] = len(seg)
+        elif how == "first":
+            non_na = seg.dropna()
+            out[g] = non_na.values[0] if len(non_na) else None
+        elif how == "last":
+            non_na = seg.dropna()
+            out[g] = non_na.values[-1] if len(non_na) else None
+        else:
+            out[g] = getattr(seg, how)()
+    return _maybe_tighten(out)
+
+
+def _normalize_spec(spec, columns: Sequence, key_names: Sequence,
+                    named_kwargs: Mapping | None = None):
+    """Normalize an agg spec to ``[(out_name, in_col, how), ...]``."""
+    named_kwargs = named_kwargs or {}
+    plan: list[tuple[Any, Any, Any]] = []
+    if named_kwargs:
+        for out_name, pair in named_kwargs.items():
+            if not (isinstance(pair, tuple) and len(pair) == 2):
+                raise TypeError(
+                    "named aggregation requires out_col=(column, func) pairs"
+                )
+            col, how = pair
+            plan.append((out_name, col, how))
+        return plan, False
+    value_columns = [c for c in columns if c not in set(key_names)]
+    if spec is None:
+        raise TypeError("agg requires a specification")
+    if isinstance(spec, str) or callable(spec):
+        for col in value_columns:
+            plan.append((col, col, spec))
+        return plan, False
+    if isinstance(spec, Mapping):
+        multi = any(isinstance(v, (list, tuple)) for v in spec.values())
+        for col, hows in spec.items():
+            if isinstance(hows, (list, tuple)):
+                for how in hows:
+                    plan.append(((col, _how_name(how)), col, how))
+            else:
+                plan.append(((col, _how_name(hows)) if multi else col, col, hows))
+        return plan, multi
+    if isinstance(spec, (list, tuple)):
+        for col in value_columns:
+            for how in spec:
+                plan.append(((col, _how_name(how)), col, how))
+        return plan, True
+    raise TypeError(f"unsupported agg spec: {spec!r}")
+
+
+def _how_name(how) -> str:
+    return how if isinstance(how, str) else getattr(how, "__name__", "agg")
+
+
+class DataFrameGroupBy:
+    """The object returned by :meth:`DataFrame.groupby`."""
+
+    def __init__(self, frame: DataFrame, by, as_index: bool = True, sort: bool = True):
+        self._frame = frame
+        self.as_index = as_index
+        self.sort = sort
+        if isinstance(by, str):
+            by = [by]
+        if isinstance(by, Series):
+            self._key_arrays = [by.values]
+            self._key_names = [by.name if by.name is not None else "key"]
+        else:
+            missing = [k for k in by if isinstance(k, str) and k not in frame._data]
+            if missing:
+                raise KeyError(f"groupby keys not found: {missing}")
+            self._key_arrays = [
+                frame._data[k] if isinstance(k, str) else dtypes.as_array(k)
+                for k in by
+            ]
+            self._key_names = [
+                k if isinstance(k, str) else f"key_{i}" for i, k in enumerate(by)
+            ]
+        self._grouper = Grouper(self._key_arrays, self._key_names)
+
+    def __getitem__(self, item):
+        if isinstance(item, str):
+            return _SelectedGroupBy(self, [item], scalar=True)
+        return _SelectedGroupBy(self, list(item), scalar=False)
+
+    # -- aggregation -----------------------------------------------------------
+    def agg(self, spec=None, **named) -> DataFrame:
+        plan, _multi = _normalize_spec(
+            spec, self._frame._columns, self._key_names, named
+        )
+        return self._run_plan(plan)
+
+    aggregate = agg
+
+    def _run_plan(self, plan) -> DataFrame:
+        order, starts = self._grouper.sorted_layout()
+        data: dict = {}
+        for out_name, col, how in plan:
+            if col not in self._frame._data:
+                raise KeyError(f"aggregation column {col!r} not found")
+            data[out_name] = _aggregate_column(
+                self._frame._data[col], order, starts, how
+            )
+        result_index = self._grouper.result_index()
+        if self.as_index:
+            return DataFrame(data, index=result_index)
+        out: dict = {}
+        if isinstance(result_index, MultiIndex):
+            for level, name in enumerate(self._key_names):
+                out[name] = result_index.get_level_values(level).values
+        else:
+            out[self._key_names[0]] = result_index.values
+        out.update(data)
+        return DataFrame(out)
+
+    def _single_how(self, how: str) -> DataFrame:
+        value_columns = [
+            c for c in self._frame._columns
+            if c not in set(self._key_names)
+            and (how in ("count", "size", "first", "last", "nunique", "min", "max")
+                 or dtypes.is_numeric(self._frame._data[c].dtype))
+        ]
+        plan = [(c, c, how) for c in value_columns]
+        return self._run_plan(plan)
+
+    def sum(self) -> DataFrame:
+        return self._single_how("sum")
+
+    def mean(self) -> DataFrame:
+        return self._single_how("mean")
+
+    def min(self) -> DataFrame:
+        return self._single_how("min")
+
+    def max(self) -> DataFrame:
+        return self._single_how("max")
+
+    def count(self) -> DataFrame:
+        return self._single_how("count")
+
+    def median(self) -> DataFrame:
+        return self._single_how("median")
+
+    def std(self) -> DataFrame:
+        return self._single_how("std")
+
+    def var(self) -> DataFrame:
+        return self._single_how("var")
+
+    def nunique(self) -> DataFrame:
+        return self._single_how("nunique")
+
+    def first(self) -> DataFrame:
+        return self._single_how("first")
+
+    def last(self) -> DataFrame:
+        return self._single_how("last")
+
+    def size(self) -> Series:
+        order, starts = self._grouper.sorted_layout()
+        bounds = np.append(starts, len(order))
+        sizes = np.diff(bounds).astype(np.int64)
+        return Series(sizes, index=self._grouper.result_index(), name="size")
+
+    def ngroups(self) -> int:
+        return self._grouper.n_groups
+
+    def apply(self, func: Callable) -> DataFrame:
+        """Apply ``func`` to each sub-frame; concatenate DataFrame results."""
+        from .concat import concat
+
+        order, starts = self._grouper.sorted_layout()
+        bounds = np.append(starts, len(order))
+        pieces = []
+        for g in range(self._grouper.n_groups):
+            rows = order[starts[g]:bounds[g + 1]]
+            piece = func(self._frame.iloc[rows])
+            if isinstance(piece, Series):
+                piece = piece.to_frame().reset_index(drop=True)
+            pieces.append(piece)
+        if not pieces:
+            return DataFrame({})
+        return concat(pieces, ignore_index=True)
+
+    def __iter__(self):
+        order, starts = self._grouper.sorted_layout()
+        bounds = np.append(starts, len(order))
+        for g in range(self._grouper.n_groups):
+            rows = order[starts[g]:bounds[g + 1]]
+            key = self._grouper.group_keys[g]
+            yield (key[0] if len(key) == 1 else key), self._frame.iloc[rows]
+
+
+class _SelectedGroupBy:
+    """``df.groupby(k)[cols]`` — aggregation over a column subset."""
+
+    def __init__(self, parent: DataFrameGroupBy, columns: list, scalar: bool):
+        self._parent = parent
+        self._columns = columns
+        self._scalar = scalar
+
+    def agg(self, spec=None, **named):
+        if named:
+            return self._parent.agg(**named)
+        if isinstance(spec, str) or callable(spec):
+            plan = [(c, c, spec) for c in self._columns]
+            result = self._parent._run_plan(plan)
+            if self._scalar and self._parent.as_index:
+                return result[self._columns[0]]
+            return result
+        if isinstance(spec, (list, tuple)):
+            plan = [((c, _how_name(h)), c, h) for c in self._columns for h in spec]
+            return self._parent._run_plan(plan)
+        if isinstance(spec, Mapping):
+            return self._parent.agg(spec)
+        raise TypeError(f"unsupported agg spec: {spec!r}")
+
+    aggregate = agg
+
+    def _single(self, how: str):
+        return self.agg(how)
+
+    def sum(self):
+        return self._single("sum")
+
+    def mean(self):
+        return self._single("mean")
+
+    def min(self):
+        return self._single("min")
+
+    def max(self):
+        return self._single("max")
+
+    def count(self):
+        return self._single("count")
+
+    def median(self):
+        return self._single("median")
+
+    def std(self):
+        return self._single("std")
+
+    def var(self):
+        return self._single("var")
+
+    def nunique(self):
+        return self._single("nunique")
+
+    def first(self):
+        return self._single("first")
+
+    def last(self):
+        return self._single("last")
+
+    def size(self):
+        return self._parent.size()
+
+
+class SeriesGroupBy:
+    """``series.groupby(keys)`` — aggregation of one column."""
+
+    def __init__(self, series: Series, by):
+        self._series = series
+        if isinstance(by, Series):
+            key_arrays = [by.values]
+            key_names = [by.name if by.name is not None else "key"]
+        elif isinstance(by, (list, tuple)) and by and isinstance(by[0], Series):
+            key_arrays = [s.values for s in by]
+            key_names = [s.name if s.name is not None else f"key_{i}"
+                         for i, s in enumerate(by)]
+        else:
+            key_arrays = [dtypes.as_array(by)]
+            key_names = ["key"]
+        self._grouper = Grouper(key_arrays, key_names)
+
+    def agg(self, how) -> Series:
+        order, starts = self._grouper.sorted_layout()
+        values = _aggregate_column(self._series.values, order, starts, how)
+        return Series(values, index=self._grouper.result_index(),
+                      name=self._series.name)
+
+    aggregate = agg
+
+    def sum(self):
+        return self.agg("sum")
+
+    def mean(self):
+        return self.agg("mean")
+
+    def min(self):
+        return self.agg("min")
+
+    def max(self):
+        return self.agg("max")
+
+    def count(self):
+        return self.agg("count")
+
+    def nunique(self):
+        return self.agg("nunique")
+
+    def size(self):
+        return self.agg("size")

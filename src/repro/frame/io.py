@@ -1,0 +1,249 @@
+"""CSV and columnar ("parquet-like") IO for ``repro.frame``.
+
+The columnar format ``.rpq`` is an ``npz`` archive with a JSON metadata
+member. Like real Parquet it supports reading a subset of columns (used by
+the engine's column pruning) and exposes row counts and dtypes without
+loading data (used by tiling to plan chunks).
+"""
+
+from __future__ import annotations
+
+import csv as _csv
+import io as _io
+import json
+import os
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from . import dtypes
+from .dataframe import DataFrame
+from .index import default_index
+
+_META_KEY = "__repro_meta__"
+
+
+# --------------------------------------------------------------------------
+# CSV
+# --------------------------------------------------------------------------
+
+def to_csv(frame: DataFrame, path, index: bool = False) -> None:
+    """Write a frame as CSV; missing values render as empty fields."""
+    with open(path, "w", newline="") as f:
+        writer = _csv.writer(f)
+        header = ([""] if index else []) + [str(c) for c in frame._columns]
+        writer.writerow(header)
+        arrays = [frame._data[c] for c in frame._columns]
+        masks = [dtypes.isna_array(a) for a in arrays]
+        for i in range(len(frame)):
+            row = [frame.index[i]] if index else []
+            for arr, mask in zip(arrays, masks):
+                row.append("" if mask[i] else arr[i])
+            writer.writerow(row)
+
+
+def read_csv(path, usecols: Sequence[str] | None = None,
+             nrows: int | None = None, skiprows: int = 0,
+             parse_dates: Sequence[str] | None = None,
+             dtype: Mapping | None = None,
+             names: Sequence[str] | None = None) -> DataFrame:
+    """Read a CSV file with type inference.
+
+    ``skiprows`` counts data rows after the header (this matches how the
+    distributed ``ReadCSV`` operator slices a file into row-range chunks).
+    """
+    parse_dates = list(parse_dates or [])
+    dtype = dict(dtype or {})
+    with open(path, newline="") as f:
+        reader = _csv.reader(f)
+        if names is None:
+            header = next(reader)
+            columns = [c for c in header]
+        else:
+            columns = list(names)
+        for _ in range(skiprows):
+            if next(reader, None) is None:
+                break
+        raw: list[list[str]] = []
+        for row in reader:
+            if not row:
+                continue
+            raw.append(row)
+            if nrows is not None and len(raw) >= nrows:
+                break
+    keep = list(usecols) if usecols is not None else columns
+    missing = [c for c in keep if c not in columns]
+    if missing:
+        raise KeyError(f"usecols not in file: {missing}")
+    positions = {c: columns.index(c) for c in keep}
+    data: dict = {}
+    for name in keep:
+        pos = positions[name]
+        cells = [row[pos] if pos < len(row) else "" for row in raw]
+        if name in dtype:
+            data[name] = _coerce_cells(cells, np.dtype(dtype[name]))
+        elif name in parse_dates:
+            data[name] = _parse_date_cells(cells)
+        else:
+            data[name] = _infer_cells(cells)
+    return DataFrame(data, index=default_index(len(raw)), columns=keep)
+
+
+def csv_row_count(path) -> int:
+    """Number of data rows (excluding the header) — used by tiling."""
+    with open(path, newline="") as f:
+        count = sum(1 for line in f if line.strip())
+    return max(count - 1, 0)
+
+
+def _infer_cells(cells: list[str]) -> np.ndarray:
+    stripped = [c.strip() for c in cells]
+    non_empty = [c for c in stripped if c != ""]
+    if non_empty and all(_is_int(c) for c in non_empty):
+        if len(non_empty) == len(stripped):
+            return np.array([int(c) for c in stripped], dtype=np.int64)
+        return np.array(
+            [np.nan if c == "" else float(c) for c in stripped], dtype=np.float64
+        )
+    if non_empty and all(_is_float(c) for c in non_empty):
+        return np.array(
+            [np.nan if c == "" else float(c) for c in stripped], dtype=np.float64
+        )
+    return np.array([None if c == "" else c for c in stripped], dtype=object)
+
+
+def _is_int(cell: str) -> bool:
+    try:
+        int(cell)
+    except ValueError:
+        return False
+    return True
+
+
+def _is_float(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True
+
+
+def _coerce_cells(cells: list[str], target: np.dtype) -> np.ndarray:
+    stripped = [c.strip() for c in cells]
+    if target == object:
+        return np.array([None if c == "" else c for c in stripped], dtype=object)
+    if target.kind == "M":
+        return _parse_date_cells(stripped)
+    if target.kind == "f":
+        return np.array(
+            [np.nan if c == "" else float(c) for c in stripped], dtype=target
+        )
+    return np.array([target.type(c) for c in stripped], dtype=target)
+
+
+def _parse_date_cells(cells: list[str]) -> np.ndarray:
+    out = np.empty(len(cells), dtype="datetime64[D]")
+    for i, cell in enumerate(cells):
+        cell = cell.strip()
+        out[i] = np.datetime64("NaT") if cell == "" else np.datetime64(cell)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Columnar format (.rpq) — the repo's Parquet stand-in
+# --------------------------------------------------------------------------
+
+def to_parquet(frame: DataFrame, path) -> None:
+    """Write a frame to the ``.rpq`` columnar format."""
+    arrays: dict = {}
+    col_meta = []
+    for i, name in enumerate(frame._columns):
+        arr = frame._data[name]
+        member = f"col_{i}"
+        if arr.dtype == object:
+            encoded, is_na = _encode_object(arr)
+            arrays[member] = encoded
+            arrays[member + "_na"] = is_na
+            col_meta.append({"name": str(name), "kind": "object"})
+        elif arr.dtype.kind == "M":
+            arrays[member] = arr.astype("datetime64[s]").astype(np.int64)
+            arrays[member + "_na"] = np.isnat(arr)
+            col_meta.append({"name": str(name), "kind": "datetime"})
+        else:
+            arrays[member] = arr
+            col_meta.append({"name": str(name), "kind": "plain"})
+    meta = {"columns": col_meta, "n_rows": len(frame)}
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    ).copy()
+    buffer = _io.BytesIO()
+    np.savez(buffer, **arrays)
+    with open(path, "wb") as f:
+        f.write(buffer.getvalue())
+
+
+def _encode_object(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Store object columns as newline-joined UTF-8 (strings only)."""
+    is_na = dtypes.isna_array(arr)
+    parts = ["" if is_na[i] else str(arr[i]) for i in range(len(arr))]
+    blob = "\x00".join(parts).encode()
+    return np.frombuffer(blob, dtype=np.uint8).copy(), is_na
+
+
+def _decode_object(encoded: np.ndarray, is_na: np.ndarray) -> np.ndarray:
+    blob = encoded.tobytes().decode()
+    parts = blob.split("\x00") if blob else [""] * len(is_na)
+    if len(parts) != len(is_na):
+        # all-empty frame edge case
+        parts = [""] * len(is_na)
+    out = np.empty(len(is_na), dtype=object)
+    for i, part in enumerate(parts):
+        out[i] = None if is_na[i] else part
+    return out
+
+
+def parquet_metadata(path) -> dict:
+    """Read only the metadata of an ``.rpq`` file: columns, kinds, row count."""
+    with np.load(path) as npz:
+        meta = json.loads(npz[_META_KEY].tobytes().decode())
+    return meta
+
+
+def read_parquet(path, columns: Sequence[str] | None = None,
+                 row_range: tuple[int, int] | None = None) -> DataFrame:
+    """Read an ``.rpq`` file, optionally a column subset and a row slice.
+
+    ``row_range=(start, stop)`` lets the distributed ``ReadParquet`` operator
+    materialize only one chunk's rows.
+    """
+    with np.load(path) as npz:
+        meta = json.loads(npz[_META_KEY].tobytes().decode())
+        name_to_member = {
+            col["name"]: (f"col_{i}", col["kind"])
+            for i, col in enumerate(meta["columns"])
+        }
+        keep = list(columns) if columns is not None else [
+            col["name"] for col in meta["columns"]
+        ]
+        missing = [c for c in keep if c not in name_to_member]
+        if missing:
+            raise KeyError(f"columns not in file: {missing}")
+        start, stop = row_range if row_range is not None else (0, meta["n_rows"])
+        data: dict = {}
+        for name in keep:
+            member, kind = name_to_member[name]
+            if kind == "object":
+                full = _decode_object(npz[member], npz[member + "_na"])
+                data[name] = full[start:stop]
+            elif kind == "datetime":
+                seconds = npz[member]
+                values = seconds.astype("datetime64[s]")
+                values[npz[member + "_na"]] = np.datetime64("NaT")
+                data[name] = values[start:stop]
+            else:
+                data[name] = npz[member][start:stop]
+    return DataFrame(data, index=default_index(stop - start), columns=keep)
+
+
+def parquet_file_size(path) -> int:
+    return os.path.getsize(path)

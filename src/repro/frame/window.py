@@ -1,0 +1,142 @@
+"""Window and ranking operations: ``rolling``, ``rank``, ``sample``,
+``corr``/``cov`` — the statistical surface of exploratory pipelines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import dtypes
+from .dataframe import DataFrame
+from .index import Index
+from .series import Series
+
+
+class Rolling:
+    """Fixed-size trailing window over a Series (``series.rolling(n)``)."""
+
+    def __init__(self, series: Series, window: int,
+                 min_periods: Optional[int] = None):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.series = series
+        self.window = int(window)
+        self.min_periods = int(min_periods) if min_periods is not None \
+            else int(window)
+
+    def _apply(self, reducer) -> Series:
+        values = np.asarray(self.series.values, dtype=np.float64)
+        n = len(values)
+        out = np.full(n, np.nan)
+        for i in range(n):
+            lo = max(i - self.window + 1, 0)
+            segment = values[lo:i + 1]
+            valid = segment[~np.isnan(segment)]
+            if len(valid) >= self.min_periods:
+                out[i] = reducer(valid)
+        return Series(out, index=self.series.index, name=self.series.name)
+
+    def mean(self) -> Series:
+        return self._apply(np.mean)
+
+    def sum(self) -> Series:
+        return self._apply(np.sum)
+
+    def min(self) -> Series:
+        return self._apply(np.min)
+
+    def max(self) -> Series:
+        return self._apply(np.max)
+
+    def std(self, ddof: int = 1) -> Series:
+        return self._apply(
+            lambda seg: np.std(seg, ddof=ddof) if len(seg) > ddof else np.nan
+        )
+
+
+def rank(series: Series, method: str = "average",
+         ascending: bool = True) -> Series:
+    """Rank values 1..n; ties resolved by ``method`` (average/min/first)."""
+    values = series.values
+    na_mask = dtypes.isna_array(values)
+    work = np.asarray(
+        [0.0 if na_mask[i] else float(values[i]) for i in range(len(values))]
+    )
+    if not ascending:
+        work = -work
+    order = np.argsort(work[~na_mask], kind="stable")
+    ranks = np.full(len(values), np.nan)
+    valid_positions = np.flatnonzero(~na_mask)
+    sorted_positions = valid_positions[order]
+    sorted_values = work[sorted_positions]
+    i = 0
+    while i < len(sorted_positions):
+        j = i
+        while j + 1 < len(sorted_positions) and \
+                sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        if method == "first":
+            for k in range(i, j + 1):
+                ranks[sorted_positions[k]] = k + 1
+        elif method == "min":
+            for k in range(i, j + 1):
+                ranks[sorted_positions[k]] = i + 1
+        else:  # average
+            avg = (i + j) / 2 + 1
+            for k in range(i, j + 1):
+                ranks[sorted_positions[k]] = avg
+        i = j + 1
+    return Series(ranks, index=series.index, name=series.name)
+
+
+def sample(frame: DataFrame, n: Optional[int] = None,
+           frac: Optional[float] = None, seed: Optional[int] = None,
+           replace: bool = False) -> DataFrame:
+    """Random row sample of a frame."""
+    if (n is None) == (frac is None):
+        raise ValueError("specify exactly one of n / frac")
+    total = len(frame)
+    count = int(n) if n is not None else int(round(total * frac))
+    if count > total and not replace:
+        raise ValueError("cannot sample more rows than exist without replace")
+    rng = np.random.default_rng(seed)
+    indexer = rng.choice(total, size=count, replace=replace)
+    if not replace:
+        indexer = np.sort(indexer)
+    return frame.iloc[indexer]
+
+
+def corr(frame: DataFrame) -> DataFrame:
+    """Pairwise Pearson correlation of the numeric columns."""
+    return _pairwise(frame, covariance=False)
+
+
+def cov(frame: DataFrame) -> DataFrame:
+    """Pairwise covariance (ddof=1) of the numeric columns."""
+    return _pairwise(frame, covariance=True)
+
+
+def _pairwise(frame: DataFrame, covariance: bool) -> DataFrame:
+    numeric = [
+        c for c in frame.columns.to_list()
+        if dtypes.is_numeric(frame[c].dtype)
+    ]
+    if not numeric:
+        raise ValueError("no numeric columns")
+    matrix = np.column_stack([
+        np.asarray(frame[c].values, dtype=np.float64) for c in numeric
+    ])
+    valid = ~np.isnan(matrix).any(axis=1)
+    matrix = matrix[valid]
+    if len(matrix) < 2:
+        raise ValueError("need at least two complete rows")
+    result = np.cov(matrix, rowvar=False, ddof=1)
+    result = np.atleast_2d(result)
+    if not covariance:
+        stds = np.sqrt(np.diag(result))
+        denom = np.outer(stds, stds)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result = result / denom
+    data = {name: result[:, j] for j, name in enumerate(numeric)}
+    return DataFrame(data, index=Index(dtypes.object_array(numeric)))

@@ -1,0 +1,15 @@
+"""``repro.graph`` — DAG container and plan entities (tileable/chunk/subtask)."""
+
+from .dag import DAG
+from .entity import ChunkData, EntityData, TileableData, shape_is_known
+from .subtask import Subtask, build_subtask_graph
+
+__all__ = [
+    "DAG",
+    "ChunkData",
+    "EntityData",
+    "Subtask",
+    "TileableData",
+    "build_subtask_graph",
+    "shape_is_known",
+]

@@ -1,0 +1,36 @@
+"""``repro.learn`` — scikit-learn-style ML on the distributed engine.
+
+The paper's Fig. 1 places "distributed machine learning" on top of
+Tensor/DataFrame; this package demonstrates the pattern: estimators whose
+``fit`` is a map-combine-reduce job over tensor blocks and whose
+``predict``/``transform`` is a per-block map.
+"""
+
+from .cluster import KMeans
+from .linear import LinearRegression, Ridge
+from .metrics import (
+    accuracy_score,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+)
+from .preprocessing import (
+    MinMaxScaler,
+    StandardScaler,
+    add_bias_column,
+    train_test_split,
+)
+
+__all__ = [
+    "KMeans",
+    "LinearRegression",
+    "MinMaxScaler",
+    "Ridge",
+    "StandardScaler",
+    "accuracy_score",
+    "add_bias_column",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "train_test_split",
+]

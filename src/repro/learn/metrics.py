@@ -1,0 +1,44 @@
+"""Distributed model-quality metrics (reductions over prediction tensors)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+def _flatten(t: Tensor) -> Tensor:
+    """1-column predictions come back as (n, 1); compare as columns."""
+    return t
+
+
+def _paired(y_true: Tensor, y_pred: Tensor):
+    if y_true.data.shape[0] != y_pred.data.shape[0]:
+        raise ValueError("y_true and y_pred differ in length")
+    true_values = y_true.fetch().ravel()
+    pred_values = y_pred.fetch().ravel()
+    return true_values, pred_values
+
+
+def mean_squared_error(y_true: Tensor, y_pred: Tensor) -> float:
+    true_values, pred_values = _paired(y_true, y_pred)
+    return float(np.mean((true_values - pred_values) ** 2))
+
+
+def mean_absolute_error(y_true: Tensor, y_pred: Tensor) -> float:
+    true_values, pred_values = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(true_values - pred_values)))
+
+
+def r2_score(y_true: Tensor, y_pred: Tensor) -> float:
+    true_values, pred_values = _paired(y_true, y_pred)
+    ss_res = float(((true_values - pred_values) ** 2).sum())
+    ss_tot = float(((true_values - true_values.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 0.0 if ss_res else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def accuracy_score(y_true: Tensor, y_pred: Tensor) -> float:
+    true_values, pred_values = _paired(y_true, y_pred)
+    return float(np.mean(true_values == pred_values))

@@ -1,0 +1,103 @@
+"""Distributed preprocessing: train/test split and feature scaling.
+
+The paper positions Xorbits' Tensor/DataFrame as the substrate for
+scaling scikit-learn-style ML (Section III-B, Fig. 1); this module shows
+what that looks like: estimators whose ``fit`` runs as distributed
+reductions and whose ``transform`` is an elementwise chunk map.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor.core import tensor_from_numpy
+
+
+def train_test_split(x: Tensor, y: Tensor, test_fraction: float = 0.25):
+    """Split row-aligned tensors into train/test parts by row ranges.
+
+    Rows are split positionally (``shuffle=False`` semantics): the first
+    ``test_fraction`` of rows form the test set. Both outputs are
+    row-range slices — chunk views, no driver-side materialization.
+    Randomly generated / ingested data is already row-order-neutral;
+    otherwise permute before distributing.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = x.data.shape[0]
+    if y.data.shape[0] != n:
+        raise ValueError("X and y must have equal row counts")
+    n_test = min(max(int(round(n * test_fraction)), 1), n - 1)
+    return x[n_test:], x[:n_test], y[n_test:], y[:n_test]
+
+
+class StandardScaler:
+    """Column-wise standardization: (x − mean) / std.
+
+    ``fit`` runs two distributed axis-0 reductions; ``transform`` is an
+    elementwise map over full-width row blocks.
+    """
+
+    def __init__(self):
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, x: Tensor) -> "StandardScaler":
+        n = x.data.shape[0]
+        mean = x.mean(axis=0).fetch()
+        sq_mean = (x * x).mean(axis=0).fetch()
+        var = np.maximum(sq_mean - mean * mean, 0.0) * n / max(n - 1, 1)
+        scale = np.sqrt(var)
+        scale[scale == 0.0] = 1.0
+        self.mean_ = np.asarray(mean, dtype=np.float64)
+        self.scale_ = np.asarray(scale, dtype=np.float64)
+        return self
+
+    def transform(self, x: Tensor) -> Tensor:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        mean, scale = self.mean_, self.scale_
+        return x.map_blocks(lambda block: (block - mean) / scale,
+                            out_cols=x.data.shape[1], out_dtype=np.float64)
+
+    def fit_transform(self, x: Tensor) -> Tensor:
+        return self.fit(x).transform(x)
+
+
+class MinMaxScaler:
+    """Column-wise rescaling to [0, 1]."""
+
+    def __init__(self):
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, x: Tensor) -> "MinMaxScaler":
+        lo = np.asarray(x.min(axis=0).fetch(), dtype=np.float64)
+        hi = np.asarray(x.max(axis=0).fetch(), dtype=np.float64)
+        span = hi - lo
+        span[span == 0.0] = 1.0
+        self.min_ = lo
+        self.range_ = span
+        return self
+
+    def transform(self, x: Tensor) -> Tensor:
+        if self.min_ is None:
+            raise RuntimeError("scaler is not fitted")
+        lo, span = self.min_, self.range_
+        return x.map_blocks(lambda block: (block - lo) / span,
+                            out_cols=x.data.shape[1], out_dtype=np.float64)
+
+    def fit_transform(self, x: Tensor) -> Tensor:
+        return self.fit(x).transform(x)
+
+
+def add_bias_column(x: Tensor) -> Tensor:
+    """Append a constant 1.0 column (the intercept feature)."""
+    k = x.data.shape[1]
+    return x.map_blocks(
+        lambda block: np.hstack([block, np.ones((block.shape[0], 1))]),
+        out_cols=k + 1, out_dtype=np.float64,
+    )

@@ -1,0 +1,45 @@
+"""``repro.numpy`` — the drop-in NumPy-like namespace (Listing 2).
+
+Mirrors the structure users expect: ``np.random.rand``, ``np.linalg.qr``.
+"""
+
+import types
+
+from .tensor import (
+    Tensor,
+    arange,
+    dot,
+    full,
+    lstsq,
+    ones,
+    qr,
+    rand,
+    randn,
+    tensor_from_numpy,
+    zeros,
+)
+
+#: ``np.random`` equivalent
+random = types.SimpleNamespace(rand=rand, randn=randn, random=rand)
+
+#: ``np.linalg`` equivalent
+linalg = types.SimpleNamespace(qr=qr, lstsq=lstsq)
+
+array = tensor_from_numpy
+
+__all__ = [
+    "Tensor",
+    "arange",
+    "array",
+    "dot",
+    "full",
+    "linalg",
+    "lstsq",
+    "ones",
+    "qr",
+    "rand",
+    "randn",
+    "random",
+    "tensor_from_numpy",
+    "zeros",
+]

@@ -1,0 +1,25 @@
+"""``repro.pandas`` — the drop-in pandas-like namespace (Listing 2).
+
+Swap ``import pandas as pd`` for ``import repro.pandas as pd`` and the
+same program runs distributed on the simulated cluster.
+"""
+
+from .dataframe import (
+    DataFrame,
+    Series,
+    concat,
+    from_dict,
+    from_frame,
+    read_csv,
+    read_parquet,
+)
+
+__all__ = [
+    "DataFrame",
+    "Series",
+    "concat",
+    "from_dict",
+    "from_frame",
+    "read_csv",
+    "read_parquet",
+]

@@ -1,0 +1,16 @@
+"""In-memory (shared-memory) storage backend — StorageLevel.MEMORY."""
+
+from __future__ import annotations
+
+from .base import StorageBackend, StorageLevel
+
+
+class MemoryBackend(StorageBackend):
+    """Per-worker main-memory store.
+
+    Capacity enforcement lives in the worker's
+    :class:`~repro.cluster.resource.MemoryTracker`, not here: the backend
+    mirrors shared memory, which fails at allocation time.
+    """
+
+    level = StorageLevel.MEMORY

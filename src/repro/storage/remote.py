@@ -1,0 +1,15 @@
+"""Remote distributed-filesystem backend — StorageLevel.REMOTE.
+
+Stands in for Alluxio/Vineyard-style remote tiers: shared by every worker,
+so a ``get`` from any worker finds the data but always pays a transfer.
+"""
+
+from __future__ import annotations
+
+from .base import StorageBackend, StorageLevel
+
+
+class RemoteBackend(StorageBackend):
+    """Cluster-wide remote store, shared across workers."""
+
+    level = StorageLevel.REMOTE

@@ -1,0 +1,184 @@
+"""The storage service: tiered per-worker stores behind put/get by key.
+
+Responsibilities (Section V-C):
+
+- hold every intermediate chunk produced by subtask execution;
+- charge each worker's memory budget, spilling least-recently-used chunks
+  to disk when allowed (``config.spill_to_disk``) or raising
+  :class:`WorkerOutOfMemory` when not;
+- answer ``get`` from any worker, reporting how many bytes crossed the
+  network and which tier served the read, so the simulation can charge
+  transfer and disk penalties;
+- track data location by key so shuffles and locality-aware scheduling
+  know where chunks live.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from ..cluster.cluster import ClusterState
+from ..config import Config
+from ..errors import StorageKeyError, WorkerOutOfMemory
+from ..utils import sizeof
+from .base import AccessInfo, StorageBackend, StorageLevel, StoredItem
+from .disk import DiskBackend
+from .memory import MemoryBackend
+from .remote import RemoteBackend
+
+
+class StorageService:
+    """Cluster-wide chunk storage with per-worker memory accounting."""
+
+    def __init__(self, cluster: ClusterState, config: Config | None = None):
+        self.cluster = cluster
+        self.config = config if config is not None else cluster.config
+        self._memory: dict[str, MemoryBackend] = {}
+        self._disk: dict[str, DiskBackend] = {}
+        self._lru: dict[str, OrderedDict[str, None]] = {}
+        for worker in cluster.workers:
+            self._memory[worker.name] = MemoryBackend()
+            self._disk[worker.name] = DiskBackend()
+            self._lru[worker.name] = OrderedDict()
+        self._remote = RemoteBackend()
+        #: key -> (worker_name, StorageLevel); remote uses worker_name "".
+        self._locations: dict[str, tuple[str, StorageLevel]] = {}
+        self.total_spilled_bytes = 0
+        self.total_transferred_bytes = 0
+
+    # -- writes -----------------------------------------------------------
+    def put(self, key: str, value: Any, worker: str,
+            level: StorageLevel = StorageLevel.MEMORY) -> int:
+        """Store ``value`` under ``key`` on ``worker``; returns its size.
+
+        A put to MEMORY that does not fit triggers LRU spill-to-disk when
+        enabled, otherwise the worker's OOM error propagates.
+        """
+        if key in self._locations:
+            self.delete(key)
+        nbytes = sizeof(value)
+        if level == StorageLevel.REMOTE:
+            self._remote.put(StoredItem(key, value, nbytes, level, ""))
+            self._locations[key] = ("", StorageLevel.REMOTE)
+            return nbytes
+        if level == StorageLevel.DISK:
+            self._disk[worker].put(StoredItem(key, value, nbytes, level, worker))
+            self._locations[key] = (worker, StorageLevel.DISK)
+            return nbytes
+        tracker = self.cluster.memory[worker]
+        if not tracker.can_fit(nbytes):
+            if self.config.spill_to_disk:
+                self._spill_until_fits(worker, nbytes)
+            # retry; raises WorkerOutOfMemory if still too large
+        tracker.allocate(nbytes)
+        self._memory[worker].put(StoredItem(key, value, nbytes, level, worker))
+        self._lru[worker][key] = None
+        self._locations[key] = (worker, StorageLevel.MEMORY)
+        return nbytes
+
+    def ensure_free(self, worker: str, nbytes: int) -> None:
+        """Spill until ``nbytes`` can be allocated on ``worker``.
+
+        Raises :class:`WorkerOutOfMemory` when spilling cannot make room.
+        """
+        self._spill_until_fits(worker, nbytes)
+
+    def _spill_until_fits(self, worker: str, nbytes: int) -> None:
+        """Move least-recently-used chunks of ``worker`` to its disk tier."""
+        tracker = self.cluster.memory[worker]
+        lru = self._lru[worker]
+        while not tracker.can_fit(nbytes) and lru:
+            victim_key, _ = lru.popitem(last=False)
+            item = self._memory[worker].delete(victim_key)
+            tracker.release(item.nbytes)
+            item.level = StorageLevel.DISK
+            self._disk[worker].put(item)
+            self._locations[victim_key] = (worker, StorageLevel.DISK)
+            self.total_spilled_bytes += item.nbytes
+        if not tracker.can_fit(nbytes):
+            raise WorkerOutOfMemory(worker, nbytes, tracker.limit, tracker.used)
+
+    # -- reads ------------------------------------------------------------
+    def get(self, key: str, requesting_worker: str) -> AccessInfo:
+        """Fetch a chunk from wherever it lives.
+
+        The returned :class:`AccessInfo` carries the bytes transferred over
+        the network (zero for a local read) and the tier penalty (the cost
+        model's ``disk_penalty`` for a spilled chunk).
+        """
+        location = self._locations.get(key)
+        if location is None:
+            raise StorageKeyError(key)
+        worker, level = location
+        if level == StorageLevel.REMOTE:
+            item = self._remote.get(key)
+            self.total_transferred_bytes += item.nbytes
+            return AccessInfo(item.value, item.nbytes,
+                              transferred_bytes=item.nbytes,
+                              tier_penalty=self.config.cost_model.disk_penalty,
+                              source_worker="<remote>")
+        if level == StorageLevel.DISK:
+            item = self._disk[worker].get(key)
+            transferred = item.nbytes if worker != requesting_worker else 0
+            self.total_transferred_bytes += transferred
+            return AccessInfo(item.value, item.nbytes,
+                              transferred_bytes=transferred,
+                              tier_penalty=self.config.cost_model.disk_penalty,
+                              source_worker=worker)
+        item = self._memory[worker].get(key)
+        self._lru[worker].move_to_end(key)
+        transferred = item.nbytes if worker != requesting_worker else 0
+        self.total_transferred_bytes += transferred
+        return AccessInfo(item.value, item.nbytes,
+                          transferred_bytes=transferred,
+                          source_worker=worker)
+
+    def peek(self, key: str) -> Any:
+        """Read a value without charging transfers (driver-side fetches)."""
+        return self.get(key, requesting_worker="<driver>").value
+
+    # -- bookkeeping --------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return key in self._locations
+
+    def location_of(self, key: str) -> tuple[str, StorageLevel]:
+        if key not in self._locations:
+            raise StorageKeyError(key)
+        return self._locations[key]
+
+    def nbytes_of(self, key: str) -> int:
+        worker, level = self.location_of(key)
+        backend = self._backend_for(worker, level)
+        return backend.get(key).nbytes
+
+    def delete(self, key: str) -> None:
+        location = self._locations.pop(key, None)
+        if location is None:
+            return
+        worker, level = location
+        backend = self._backend_for(worker, level)
+        item = backend.delete(key)
+        if level == StorageLevel.MEMORY:
+            self.cluster.memory[worker].release(item.nbytes)
+            self._lru[worker].pop(key, None)
+
+    def _backend_for(self, worker: str, level: StorageLevel) -> StorageBackend:
+        if level == StorageLevel.REMOTE:
+            return self._remote
+        if level == StorageLevel.DISK:
+            return self._disk[worker]
+        return self._memory[worker]
+
+    def memory_bytes(self, worker: str) -> int:
+        return self._memory[worker].total_bytes()
+
+    def disk_bytes(self, worker: str) -> int:
+        return self._disk[worker].total_bytes()
+
+    def keys_on(self, worker: str) -> list[str]:
+        return self._memory[worker].keys() + self._disk[worker].keys()
+
+    def clear(self) -> None:
+        for key in list(self._locations):
+            self.delete(key)

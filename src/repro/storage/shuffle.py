@@ -1,0 +1,85 @@
+"""Shuffle support on top of the storage service.
+
+Mappers write one partition per reducer into storage under structured
+keys; reducers gather all partitions addressed to them. Transfers between
+workers are aggregated per (source, destination) pair, modelling the
+paper's "aggregating all the shuffling data together to reduce data
+transfer overheads" optimization.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from ..utils import sizeof
+from .base import StorageLevel
+from .service import StorageService
+
+
+def shuffle_key(shuffle_id: str, mapper: int, reducer: int) -> str:
+    return f"shuffle:{shuffle_id}:{mapper}:{reducer}"
+
+
+class ShuffleManager:
+    """Tracks one session's shuffle datasets."""
+
+    def __init__(self, storage: StorageService):
+        self.storage = storage
+        #: shuffle_id -> {(mapper, reducer) -> (key, worker, nbytes)}
+        self._partitions: dict[str, dict[tuple[int, int], tuple[str, str, int]]] = (
+            defaultdict(dict)
+        )
+        self.total_shuffle_bytes = 0
+
+    def write_partition(self, shuffle_id: str, mapper: int, reducer: int,
+                        data: Any, worker: str) -> int:
+        """A mapper stores the slice of its output addressed to ``reducer``."""
+        key = shuffle_key(shuffle_id, mapper, reducer)
+        nbytes = self.storage.put(key, data, worker, level=StorageLevel.MEMORY)
+        self._partitions[shuffle_id][(mapper, reducer)] = (key, worker, nbytes)
+        self.total_shuffle_bytes += nbytes
+        return nbytes
+
+    def mapper_count(self, shuffle_id: str) -> int:
+        if shuffle_id not in self._partitions:
+            return 0
+        return len({m for m, _ in self._partitions[shuffle_id]})
+
+    def gather(self, shuffle_id: str, reducer: int,
+               requesting_worker: str) -> tuple[list[Any], int, float]:
+        """Collect every partition addressed to ``reducer``.
+
+        Returns ``(values, transferred_bytes, tier_penalty_seconds_factor)``.
+        Transfers from the same source worker are aggregated: the per-pair
+        fixed overhead is paid once, captured by returning the number of
+        distinct source workers alongside raw bytes.
+        """
+        parts = self._partitions.get(shuffle_id)
+        if parts is None:
+            return [], 0, 0.0
+        values: list[Any] = []
+        by_source: dict[str, int] = defaultdict(int)
+        max_penalty = 1.0
+        for (mapper, r), (key, worker, nbytes) in sorted(parts.items()):
+            if r != reducer:
+                continue
+            info = self.storage.get(key, requesting_worker)
+            values.append(info.value)
+            if info.transferred_bytes:
+                by_source[info.source_worker] += info.transferred_bytes
+            max_penalty = max(max_penalty, info.tier_penalty)
+        transferred = sum(by_source.values())
+        return values, transferred, max_penalty
+
+    def cleanup(self, shuffle_id: str) -> None:
+        """Delete every partition of a finished shuffle."""
+        parts = self._partitions.pop(shuffle_id, None)
+        if not parts:
+            return
+        for key, _, __ in parts.values():
+            self.storage.delete(key)
+
+    def live_bytes(self, shuffle_id: str) -> int:
+        parts = self._partitions.get(shuffle_id, {})
+        return sum(nbytes for _, __, nbytes in parts.values())

@@ -1,0 +1,29 @@
+"""``repro.tensor`` — the distributed Tensor (``xorbits.numpy`` equivalent)."""
+
+from .core import (
+    Tensor,
+    arange,
+    dot,
+    full,
+    lstsq,
+    ones,
+    qr,
+    rand,
+    randn,
+    tensor_from_numpy,
+    zeros,
+)
+
+__all__ = [
+    "Tensor",
+    "arange",
+    "dot",
+    "full",
+    "lstsq",
+    "ones",
+    "qr",
+    "rand",
+    "randn",
+    "tensor_from_numpy",
+    "zeros",
+]

@@ -1,0 +1,230 @@
+"""User-facing distributed Tensor (the ``xorbits.numpy`` surface)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.session import Session, get_default_session
+from ..graph.entity import TileableData
+from .arithmetic import build_tensor_elementwise
+from .datasource import ARange, FromArray, FullTensor, RandomTensor
+from .linalg import LstSq, TSQR
+from .matmul import MatMul
+from .reduction import TensorReduce
+
+
+class Tensor:
+    """Deferred distributed n-d array with NumPy-like operators."""
+
+    def __init__(self, data: TileableData, session: Session | None = None):
+        self.data = data
+        self._session = session
+
+    @property
+    def session(self) -> Session:
+        return self._session if self._session is not None else get_default_session()
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def execute(self) -> "Tensor":
+        self.session.execute(self.data)
+        return self
+
+    def fetch(self) -> np.ndarray:
+        if not self.session.is_materialized(self.data):
+            self.execute()
+        return self.session.fetch(self.data)
+
+    def __repr__(self) -> str:  # deferred evaluation
+        return repr(self.fetch())
+
+    # -- elementwise arithmetic ------------------------------------------------
+    def _elementwise(self, func, other: Optional["Tensor"] = None) -> "Tensor":
+        inputs = [self.data] + ([other.data] if other is not None else [])
+        out = build_tensor_elementwise(inputs, func)
+        return Tensor(out, self._session)
+
+    def _binop(self, other, func2, func1):
+        if isinstance(other, Tensor):
+            return self._elementwise(func2, other)
+        return self._elementwise(lambda a: func1(a, other))
+
+    def __add__(self, other):
+        return self._binop(other, lambda a, b: a + b, lambda a, o: a + o)
+
+    def __radd__(self, other):
+        return self._elementwise(lambda a: other + a)
+
+    def __sub__(self, other):
+        return self._binop(other, lambda a, b: a - b, lambda a, o: a - o)
+
+    def __rsub__(self, other):
+        return self._elementwise(lambda a: other - a)
+
+    def __mul__(self, other):
+        return self._binop(other, lambda a, b: a * b, lambda a, o: a * o)
+
+    def __rmul__(self, other):
+        return self._elementwise(lambda a: other * a)
+
+    def __truediv__(self, other):
+        return self._binop(other, lambda a, b: a / b, lambda a, o: a / o)
+
+    def __pow__(self, other):
+        return self._binop(other, lambda a, b: a ** b, lambda a, o: a ** o)
+
+    def __neg__(self):
+        return self._elementwise(lambda a: -a)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        op = MatMul()
+        out = op.new_tileable(
+            [self.data, other.data], "tensor",
+            (self.data.shape[0], other.data.shape[1]),
+            dtype=np.result_type(
+                self.data.dtype or np.float64, other.data.dtype or np.float64
+            ),
+        )
+        return Tensor(out, self._session)
+
+    # -- reductions ----------------------------------------------------------------
+    def _reduce(self, how: str, axis: Optional[int]):
+        op = TensorReduce(how=how, axis=axis)
+        if axis is None:
+            out = op.new_tileable([self.data], "scalar", ())
+        else:
+            keep = self.data.shape[1 - axis]
+            out = op.new_tileable([self.data], "tensor", (keep,),
+                                  dtype=self.data.dtype)
+        return Tensor(out, self._session)
+
+    def sum(self, axis: Optional[int] = None):
+        return self._reduce("sum", axis)
+
+    def mean(self, axis: Optional[int] = None):
+        return self._reduce("mean", axis)
+
+    def max(self, axis: Optional[int] = None):
+        return self._reduce("max", axis)
+
+    def min(self, axis: Optional[int] = None):
+        return self._reduce("min", axis)
+
+    # -- selection / restructuring ------------------------------------------------
+    def __getitem__(self, item) -> "Tensor":
+        if isinstance(item, slice):
+            from .indexing import row_slice
+
+            start = item.start if item.start is not None else 0
+            stop = item.stop if item.stop is not None else self.data.shape[0]
+            if item.step not in (None, 1):
+                raise NotImplementedError("strided tensor slices")
+            return Tensor(row_slice(self.data, start, stop), self._session)
+        raise TypeError(f"unsupported tensor selection {item!r}")
+
+    def map_blocks(self, func, out_cols: int, out_dtype=None) -> "Tensor":
+        """Apply ``func`` per full-width row block (may change columns)."""
+        from .arithmetic import map_blocks as _map_blocks
+
+        return Tensor(_map_blocks(self.data, func, out_cols, out_dtype),
+                      self._session)
+
+    # -- conversions ------------------------------------------------------------------
+    def rechunk(self, nsplits: tuple) -> "Tensor":
+        from .rechunk import rechunk as _rechunk
+
+        return Tensor(_rechunk(self.data, nsplits), self._session)
+
+    def to_numpy(self) -> np.ndarray:
+        return self.fetch()
+
+
+# ---------------------------------------------------------------------------
+# constructors (the ``repro.numpy`` namespace delegates here)
+# ---------------------------------------------------------------------------
+
+def tensor_from_numpy(array: np.ndarray,
+                      session: Session | None = None) -> Tensor:
+    op = FromArray(np.asarray(array))
+    out = op.new_tileable([], "tensor", array.shape, dtype=array.dtype)
+    return Tensor(out, session)
+
+
+def rand(*shape: int, seed: Optional[int] = None,
+         session: Session | None = None) -> Tensor:
+    op = RandomTensor(shape, seed=seed)
+    out = op.new_tileable([], "tensor", shape, dtype=np.float64)
+    return Tensor(out, session)
+
+
+def randn(*shape: int, seed: Optional[int] = None,
+          session: Session | None = None) -> Tensor:
+    op = RandomTensor(shape, seed=seed, distribution="normal")
+    out = op.new_tileable([], "tensor", shape, dtype=np.float64)
+    return Tensor(out, session)
+
+
+def ones(shape, dtype=np.float64, session: Session | None = None) -> Tensor:
+    shape = (shape,) if isinstance(shape, int) else tuple(shape)
+    op = FullTensor(shape, 1, dtype=dtype)
+    out = op.new_tileable([], "tensor", shape, dtype=np.dtype(dtype))
+    return Tensor(out, session)
+
+
+def zeros(shape, dtype=np.float64, session: Session | None = None) -> Tensor:
+    shape = (shape,) if isinstance(shape, int) else tuple(shape)
+    op = FullTensor(shape, 0, dtype=dtype)
+    out = op.new_tileable([], "tensor", shape, dtype=np.dtype(dtype))
+    return Tensor(out, session)
+
+
+def full(shape, fill_value, dtype=np.float64,
+         session: Session | None = None) -> Tensor:
+    shape = (shape,) if isinstance(shape, int) else tuple(shape)
+    op = FullTensor(shape, fill_value, dtype=dtype)
+    out = op.new_tileable([], "tensor", shape, dtype=np.dtype(dtype))
+    return Tensor(out, session)
+
+
+def arange(n: int, session: Session | None = None) -> Tensor:
+    op = ARange(n)
+    out = op.new_tileable([], "tensor", (n,), dtype=np.int64)
+    return Tensor(out, session)
+
+
+def qr(a: Tensor) -> tuple[Tensor, Tensor]:
+    """Tall-and-skinny QR; chunk layout chosen by auto rechunk."""
+    op = TSQR()
+    n_rows, n_cols = a.data.shape
+    q_data, r_data = op.new_tileables(
+        [a.data],
+        [
+            {"kind": "tensor", "shape": (n_rows, n_cols), "dtype": np.float64},
+            {"kind": "tensor", "shape": (n_cols, n_cols), "dtype": np.float64},
+        ],
+    )
+    return Tensor(q_data, a._session), Tensor(r_data, a._session)
+
+
+def lstsq(x: Tensor, y: Tensor) -> Tensor:
+    """Ordinary least squares: β minimizing ‖Xβ − y‖₂."""
+    op = LstSq()
+    out = op.new_tileable([x.data, y.data], "tensor", (x.data.shape[1],),
+                          dtype=np.float64)
+    return Tensor(out, x._session)
+
+
+def dot(a: Tensor, b: Tensor) -> Tensor:
+    return a @ b

@@ -1,0 +1,157 @@
+"""Tensor data sources: random arrays, constants, ranges, in-memory arrays.
+
+Tensors are statically tileable (shapes are known), so sources chunk with
+Algorithm 1 (auto rechunk) over all dimensions at once; shape-constrained
+consumers (QR) later re-tile with their own ``dim_to_size`` constraints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.operator import DataSourceOp, ExecContext, Operator, TileContext
+from ..core.rechunk import rechunk_to_splits
+from ..graph.entity import ChunkData
+from ..utils import cumulative_offsets
+
+
+def tile_grid(op_factory, shape: Sequence[int], nsplits: tuple,
+              dtype) -> list[ChunkData]:
+    """Create one chunk per grid cell of ``nsplits``.
+
+    ``op_factory(index, offsets, extents)`` returns the chunk operator.
+    """
+    per_dim_offsets = [cumulative_offsets(splits) for splits in nsplits]
+    grid = [range(len(splits)) for splits in nsplits]
+    chunks = []
+    for index in itertools.product(*grid):
+        extents = tuple(nsplits[d][i] for d, i in enumerate(index))
+        offsets = tuple(per_dim_offsets[d][i] for d, i in enumerate(index))
+        op = op_factory(index, offsets, extents)
+        chunks.append(op.new_chunk([], "tensor", extents, index, dtype=dtype))
+    return chunks
+
+
+class TensorSource(DataSourceOp):
+    """Common tiling of every tensor source."""
+
+    def __init__(self, shape: Sequence[int], dtype=np.float64, **params):
+        super().__init__(**params)
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+
+    def _splits(self, ctx: TileContext) -> tuple:
+        return rechunk_to_splits(
+            self.shape, {}, self.dtype.itemsize, ctx.config.chunk_store_limit
+        )
+
+    def tile(self, ctx: TileContext):
+        nsplits = self._splits(ctx)
+        chunks = tile_grid(self._chunk_op, self.shape, nsplits, self.dtype)
+        return [(chunks, nsplits)]
+
+    def _chunk_op(self, index, offsets, extents) -> Operator:
+        raise NotImplementedError
+
+
+class RandomTensor(TensorSource):
+    """Uniform [0, 1) random tensor with a per-chunk derived seed, so the
+    result is independent of the chunk layout chosen."""
+
+    def __init__(self, shape, seed: Optional[int] = None, dtype=np.float64,
+                 distribution: str = "uniform", **params):
+        super().__init__(shape, dtype=dtype, **params)
+        self.seed = seed
+        self.distribution = distribution
+
+    def _chunk_op(self, index, offsets, extents):
+        chunk_seed = None
+        if self.seed is not None:
+            chunk_seed = hash((self.seed,) + tuple(index)) % (2 ** 31)
+        return RandomChunk(extents=extents, seed=chunk_seed,
+                           dtype=self.dtype, distribution=self.distribution)
+
+
+class RandomChunk(Operator):
+    def __init__(self, extents, seed, dtype, distribution, **params):
+        super().__init__(**params)
+        self.extents = extents
+        self.seed = seed
+        self.dtype = dtype
+        self.distribution = distribution
+
+    def execute(self, ctx: ExecContext):
+        rng = np.random.default_rng(self.seed)
+        if self.distribution == "normal":
+            return rng.normal(size=self.extents).astype(self.dtype)
+        return rng.random(size=self.extents, dtype=np.float64).astype(self.dtype)
+
+
+class FullTensor(TensorSource):
+    """Constant tensors: ones, zeros, full."""
+
+    def __init__(self, shape, fill_value, dtype=np.float64, **params):
+        super().__init__(shape, dtype=dtype, **params)
+        self.fill_value = fill_value
+
+    def _chunk_op(self, index, offsets, extents):
+        return FullChunk(extents=extents, fill_value=self.fill_value,
+                         dtype=self.dtype)
+
+
+class FullChunk(Operator):
+    def __init__(self, extents, fill_value, dtype, **params):
+        super().__init__(**params)
+        self.extents = extents
+        self.fill_value = fill_value
+        self.dtype = dtype
+
+    def execute(self, ctx: ExecContext):
+        return np.full(self.extents, self.fill_value, dtype=self.dtype)
+
+
+class ARange(TensorSource):
+    """1-D ``arange(n)``."""
+
+    def __init__(self, n: int, dtype=np.int64, **params):
+        super().__init__((n,), dtype=dtype, **params)
+
+    def _chunk_op(self, index, offsets, extents):
+        return ARangeChunk(start=offsets[0], stop=offsets[0] + extents[0],
+                           dtype=self.dtype)
+
+
+class ARangeChunk(Operator):
+    def __init__(self, start, stop, dtype, **params):
+        super().__init__(**params)
+        self.start, self.stop, self.dtype = start, stop, dtype
+
+    def execute(self, ctx: ExecContext):
+        return np.arange(self.start, self.stop, dtype=self.dtype)
+
+
+class FromArray(TensorSource):
+    """Distribute an in-memory NumPy array."""
+
+    def __init__(self, array: np.ndarray, **params):
+        super().__init__(array.shape, dtype=array.dtype, **params)
+        self.array = array
+
+    def _chunk_op(self, index, offsets, extents):
+        slices = tuple(
+            slice(o, o + e) for o, e in zip(offsets, extents)
+        )
+        return FromArrayChunk(array=self.array, slices=slices)
+
+
+class FromArrayChunk(Operator):
+    def __init__(self, array, slices, **params):
+        super().__init__(**params)
+        self.array = array
+        self.slices = slices
+
+    def execute(self, ctx: ExecContext):
+        return np.ascontiguousarray(self.array[self.slices])

@@ -1,0 +1,77 @@
+"""Tensor row slicing: ``tensor[start:stop]`` over the chunk grid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.operator import ExecContext, Operator, TileContext
+from ..errors import TilingError
+from ..graph.entity import TileableData
+from ..utils import cumulative_offsets
+
+
+class TensorRowSlice(Operator):
+    """Select the row range ``[start, stop)`` of a 1-D/2-D tensor."""
+
+    def __init__(self, start: int, stop: int, **params):
+        super().__init__(**params)
+        self.start = int(start)
+        self.stop = int(stop)
+
+    def tile(self, ctx: TileContext):
+        source = self.inputs[0]
+        if not source.has_known_shape:
+            raise TilingError("row slicing requires a known tensor shape")
+        start, stop, _ = slice(self.start, self.stop).indices(source.shape[0])
+        row_offsets = cumulative_offsets(source.nsplits[0])
+        by_index = {c.index: c for c in source.chunks}
+        n_col_blocks = len(source.nsplits[1]) if source.ndim == 2 else 1
+        out_chunks = []
+        out_rows = []
+        out_row_pos = 0
+        for i, extent in enumerate(source.nsplits[0]):
+            lo, hi = row_offsets[i], row_offsets[i + 1]
+            take_lo, take_hi = max(start, lo), min(stop, hi)
+            if take_lo >= take_hi:
+                continue
+            local = slice(take_lo - lo, take_hi - lo)
+            rows = take_hi - take_lo
+            out_rows.append(rows)
+            for j in range(n_col_blocks):
+                src = by_index[(i, j) if source.ndim == 2 else (i,)]
+                op = TensorRowSliceChunk(local=local)
+                shape = (rows, src.shape[1]) if source.ndim == 2 else (rows,)
+                index = (out_row_pos, j) if source.ndim == 2 else (out_row_pos,)
+                out_chunks.append(op.new_chunk(
+                    [src], "tensor", shape, index, dtype=source.dtype
+                ))
+            out_row_pos += 1
+        if not out_chunks:
+            raise TilingError(
+                f"empty slice [{self.start}:{self.stop}) of {source.shape}"
+            )
+        nsplits = ((tuple(out_rows), source.nsplits[1])
+                   if source.ndim == 2 else (tuple(out_rows),))
+        return [(out_chunks, nsplits)]
+
+
+class TensorRowSliceChunk(Operator):
+    is_lightweight = True
+
+    def __init__(self, local: slice, **params):
+        super().__init__(**params)
+        self.local = local
+
+    def execute(self, ctx: ExecContext):
+        return np.ascontiguousarray(ctx.get(self.inputs[0].key)[self.local])
+
+
+def row_slice(data: TileableData, start: int, stop: int) -> TileableData:
+    """Tileable-level constructor for a row-range slice."""
+    if not data.has_known_shape:
+        raise TilingError("row slicing requires a known tensor shape")
+    lo, hi, _ = slice(start, stop).indices(data.shape[0])
+    rows = max(hi - lo, 0)
+    shape = (rows,) + tuple(data.shape[1:])
+    op = TensorRowSlice(start=start, stop=stop)
+    return op.new_tileable([data], "tensor", shape, dtype=data.dtype)

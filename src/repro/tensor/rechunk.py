@@ -1,0 +1,115 @@
+"""Tensor rechunk: reshape the chunk grid of a tensor whose shape is known.
+
+This is the kernel behind *auto rechunk* (Section V-D): shape-constrained
+operators (QR, matmul alignment) call :func:`rechunk` with the nsplits
+Algorithm 1 chose, instead of making users call ``.rechunk`` manually as
+Dask requires (Listing 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from ..core.operator import ExecContext, Operator, TileContext
+from ..errors import TilingError
+from ..graph.entity import ChunkData, TileableData
+from ..utils import cumulative_offsets
+
+
+class Rechunk(Operator):
+    """Re-tile a tensor to ``target_nsplits``."""
+
+    def __init__(self, target_nsplits: tuple, **params):
+        super().__init__(**params)
+        self.target_nsplits = tuple(tuple(s) for s in target_nsplits)
+
+    def tile(self, ctx: TileContext):
+        source = self.inputs[0]
+        if not source.has_known_shape:
+            raise TilingError("rechunk requires a known tensor shape")
+        for dim, splits in enumerate(self.target_nsplits):
+            if sum(splits) != source.shape[dim]:
+                raise TilingError(
+                    f"target splits {splits} do not cover dim {dim} of "
+                    f"shape {source.shape}"
+                )
+        chunks = rechunk_chunks(source.chunks, source.nsplits,
+                                self.target_nsplits, source.dtype)
+        return [(chunks, self.target_nsplits)]
+
+
+def rechunk_chunks(in_chunks: Sequence[ChunkData], in_nsplits: tuple,
+                   out_nsplits: tuple, dtype) -> list[ChunkData]:
+    """Build the chunk ops mapping one grid onto another."""
+    ndim = len(out_nsplits)
+    in_offsets = [cumulative_offsets(s) for s in in_nsplits]
+    out_offsets = [cumulative_offsets(s) for s in out_nsplits]
+    chunk_by_index = {c.index: c for c in in_chunks}
+
+    out_chunks = []
+    for out_index in itertools.product(*[range(len(s)) for s in out_nsplits]):
+        lo = tuple(out_offsets[d][i] for d, i in enumerate(out_index))
+        hi = tuple(out_offsets[d][i + 1] for d, i in enumerate(out_index))
+        # find overlapping input chunks per dimension
+        per_dim_hits = []
+        for d in range(ndim):
+            hits = []
+            for j in range(len(in_nsplits[d])):
+                a, b = in_offsets[d][j], in_offsets[d][j + 1]
+                if a < hi[d] and b > lo[d]:
+                    hits.append(j)
+            per_dim_hits.append(hits)
+        pieces: list[ChunkData] = []
+        slices: list[tuple] = []
+        grid_shape = tuple(len(h) for h in per_dim_hits)
+        for combo in itertools.product(*per_dim_hits):
+            src = chunk_by_index[combo]
+            local = tuple(
+                slice(max(lo[d] - in_offsets[d][combo[d]], 0),
+                      min(hi[d], in_offsets[d][combo[d] + 1])
+                      - in_offsets[d][combo[d]])
+                for d in range(ndim)
+            )
+            pieces.append(src)
+            slices.append(local)
+        extents = tuple(hi[d] - lo[d] for d in range(ndim))
+        op = RechunkAssemble(slices=slices, grid_shape=grid_shape)
+        out_chunks.append(op.new_chunk(
+            pieces, "tensor", extents, out_index, dtype=dtype
+        ))
+    return out_chunks
+
+
+class RechunkAssemble(Operator):
+    """Slice overlapping input blocks and reassemble one output block."""
+
+    def __init__(self, slices, grid_shape, **params):
+        super().__init__(**params)
+        self.slices = slices
+        self.grid_shape = grid_shape
+
+    def execute(self, ctx: ExecContext):
+        parts = [
+            ctx.get(chunk.key)[local]
+            for chunk, local in zip(self.inputs, self.slices)
+        ]
+        if len(parts) == 1:
+            return np.ascontiguousarray(parts[0])
+        ndim = len(self.grid_shape)
+        if ndim == 1:
+            return np.concatenate(parts)
+        rows, cols = self.grid_shape
+        nested = [
+            [parts[r * cols + c] for c in range(cols)] for r in range(rows)
+        ]
+        return np.block(nested)
+
+
+def rechunk(tensor_data: TileableData, target_nsplits: tuple) -> TileableData:
+    """Tileable-level rechunk constructor."""
+    op = Rechunk(target_nsplits=target_nsplits)
+    return op.new_tileable([tensor_data], "tensor", tensor_data.shape,
+                           dtype=tensor_data.dtype)

@@ -1,0 +1,155 @@
+"""Small shared utilities: deterministic keys, sizeof, iteration helpers."""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+_token_counter = itertools.count()
+
+
+def new_key(prefix: str = "k") -> str:
+    """Return a process-unique key, e.g. for chunks and subtasks."""
+    return f"{prefix}-{next(_token_counter):08d}"
+
+
+def tokenize(*parts: Any) -> str:
+    """Deterministic short hash of the given parts (for cache keys)."""
+    hasher = hashlib.blake2b(digest_size=10)
+    for part in parts:
+        hasher.update(repr(part).encode())
+    return hasher.hexdigest()
+
+
+def sizeof(obj: Any) -> int:
+    """Estimated in-memory byte size of a value held in storage.
+
+    Understands NumPy arrays, the ``repro.frame`` containers (via their
+    ``nbytes`` attribute), and plain Python containers. Object-dtype NumPy
+    arrays are charged a per-element estimate because ``arr.nbytes`` only
+    counts the pointers.
+    """
+    if obj is None:
+        return 16
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        if isinstance(obj, np.ndarray) and obj.dtype == object:
+            return int(obj.size) * 64 + 96
+        return int(nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj) + 48
+    if isinstance(obj, str):
+        return len(obj) + 56
+    if isinstance(obj, (int, float, bool, np.generic)):
+        return 32
+    if isinstance(obj, dict):
+        return 64 + sum(sizeof(k) + sizeof(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 56 + sum(sizeof(item) for item in obj)
+    return 64
+
+
+def ceildiv(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    return -(-a // b)
+
+
+def split_length(total: int, chunk: int) -> list[int]:
+    """Split ``total`` items into pieces of at most ``chunk`` items.
+
+    >>> split_length(10, 4)
+    [4, 4, 2]
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    if total == 0:
+        return []
+    full, rest = divmod(total, chunk)
+    sizes = [chunk] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+def split_even(total: int, parts: int) -> list[int]:
+    """Split ``total`` items into ``parts`` near-equal pieces.
+
+    >>> split_even(10, 3)
+    [4, 3, 3]
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, rest = divmod(total, parts)
+    return [base + (1 if i < rest else 0) for i in range(parts)]
+
+
+def cumulative_offsets(sizes: Sequence[int]) -> list[int]:
+    """Exclusive prefix sums: [0, s0, s0+s1, ...] with len(sizes)+1 items."""
+    offsets = [0]
+    for size in sizes:
+        offsets.append(offsets[-1] + size)
+    return offsets
+
+
+def locate_in_splits(index: int, sizes: Sequence[int]) -> tuple[int, int]:
+    """Locate a global position inside a partitioned axis.
+
+    Returns ``(chunk_idx, offset_in_chunk)`` such that global ``index``
+    falls into chunk ``chunk_idx`` at local position ``offset_in_chunk``.
+    """
+    if index < 0:
+        raise IndexError(f"index {index} out of range")
+    running = 0
+    for chunk_idx, size in enumerate(sizes):
+        if index < running + size:
+            return chunk_idx, index - running
+        running += size
+    raise IndexError(f"index {index} out of range for splits {list(sizes)!r}")
+
+
+def batched(iterable: Iterable, size: int) -> Iterator[list]:
+    """Yield lists of up to ``size`` items from ``iterable``.
+
+    >>> list(batched([1, 2, 3, 4, 5], 2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    batch: list = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count, e.g. ``human_bytes(2048) == '2.0 KiB'``."""
+    if n < 0:
+        return "-" + human_bytes(-n)
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    idx = 0
+    value = float(n)
+    while value >= 1024 and idx < len(units) - 1:
+        value /= 1024
+        idx += 1
+    if idx == 0:
+        return f"{int(value)} B"
+    return f"{value:.1f} {units[idx]}"
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

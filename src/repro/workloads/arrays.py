@@ -1,0 +1,112 @@
+"""Array workloads: QR decomposition and linear regression weak scaling
+(Fig. 8c/8d).
+
+``run_qr``/``run_linear_regression`` execute one problem instance on a
+fresh session and report the simulated makespan plus throughput
+(problem bytes / virtual second), matching how the paper computes the
+weak-scaling y-axis. ``weak_scaling`` sweeps 1..K sockets with the
+per-socket problem size held constant.
+
+The Dask comparison points run with the Dask profile's configuration
+(higher per-task overhead, no operator fusion, no locality) and, for QR,
+with the explicit ``rechunk`` step Dask requires before ``linalg.qr``
+(Listing 1 of the paper) instead of the built-in auto rechunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Config, default_config
+from ..core.rechunk import rechunk_to_splits
+from ..core.session import Session
+from ..tensor import lstsq, qr, rand, randn, tensor_from_numpy
+
+
+@dataclass
+class ArrayRunResult:
+    workload: str
+    sockets: int
+    n_rows: int
+    n_cols: int
+    makespan: float
+    problem_bytes: int
+
+    @property
+    def throughput(self) -> float:
+        """Bytes of problem data processed per virtual second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.problem_bytes / self.makespan
+
+
+def socket_config(sockets: int, base: Config | None = None) -> Config:
+    """A cluster exposing ``sockets`` NUMA bands (one worker per socket,
+    mirroring the paper's 2-socket machines)."""
+    cfg = base if base is not None else default_config()
+    cfg.cluster.n_workers = max((sockets + 1) // 2, 1)
+    cfg.cluster.bands_per_worker = 2 if sockets > 1 else 1
+    return cfg
+
+
+def run_qr(n_rows: int, n_cols: int, config: Config, sockets: int = 1,
+           manual_rechunk: bool = False, seed: int = 7) -> ArrayRunResult:
+    """One QR instance; ``manual_rechunk`` imitates the Dask user's
+    required explicit re-partitioning before calling ``qr``."""
+    session = Session(config)
+    try:
+        a = rand(n_rows, n_cols, seed=seed, session=session)
+        if manual_rechunk:
+            target = rechunk_to_splits(
+                (n_rows, n_cols), {1: n_cols}, 8, config.chunk_store_limit
+            )
+            a = a.rechunk(target)
+            a.execute()  # the user-visible rechunk materializes
+        q, r = qr(a)
+        session.execute(q.data, r.data)
+        makespan = session.cluster.clock.makespan
+    finally:
+        session.close()
+    return ArrayRunResult("qr", sockets, n_rows, n_cols, makespan,
+                          n_rows * n_cols * 8)
+
+
+def run_linear_regression(n_rows: int, n_cols: int, config: Config,
+                          sockets: int = 1, seed: int = 11) -> ArrayRunResult:
+    """One OLS fit: synthesize X, y = Xβ + ε, solve via block normal
+    equations."""
+    session = Session(config)
+    try:
+        x = rand(n_rows, n_cols, seed=seed, session=session)
+        noise = randn(n_rows, seed=seed + 1, session=session)
+        beta = np.linspace(1.0, 2.0, n_cols)
+        xb = x @ tensor_from_numpy(beta.reshape(n_cols, 1), session)
+        y_full = xb.fetch().ravel() + 0.01 * noise.fetch()
+        y = tensor_from_numpy(y_full, session)
+        coef = lstsq(x, y)
+        coef.execute()
+        makespan = session.cluster.clock.makespan
+    finally:
+        session.close()
+    return ArrayRunResult("lr", sockets, n_rows, n_cols, makespan,
+                          n_rows * n_cols * 8)
+
+
+def weak_scaling(workload: str, sockets_list: list[int],
+                 base_rows: int, n_cols: int,
+                 config_factory, **kwargs) -> list[ArrayRunResult]:
+    """Sweep socket counts with per-socket problem size held constant.
+
+    ``config_factory(sockets) -> Config`` builds each point's cluster.
+    """
+    runner = run_qr if workload == "qr" else run_linear_regression
+    results = []
+    for sockets in sockets_list:
+        cfg = config_factory(sockets)
+        results.append(
+            runner(base_rows * sockets, n_cols, cfg, sockets=sockets,
+                   **kwargs)
+        )
+    return results

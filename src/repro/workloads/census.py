@@ -1,0 +1,73 @@
+"""Census-like feature-engineering pipeline (Kaggle-style, Fig. 8a).
+
+The paper's census workload fits in one machine's memory: it measures how
+well each framework scales *up* (uses all cores of one node) rather than
+*out*. Operator mix: missing-data handling, type normalization, filters,
+derived features, per-group statistics, and a final training-table join.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame as LocalFrame
+
+EDUCATION_LEVELS = ["HS", "Bachelors", "Masters", "PhD", "None"]
+STATES = [f"ST{i:02d}" for i in range(51)]
+
+
+def generate_census(n_rows: int = 50_000, seed: int = 0) -> dict[str, LocalFrame]:
+    rng = np.random.default_rng(seed)
+    age = rng.integers(16, 95, n_rows).astype(np.float64)
+    age[rng.random(n_rows) < 0.03] = np.nan  # some missing ages
+    income = np.round(rng.lognormal(10.3, 0.7, n_rows), 2)
+    income[rng.random(n_rows) < 0.05] = np.nan
+    people = LocalFrame({
+        "person_id": np.arange(n_rows, dtype=np.int64),
+        "age": age,
+        "income": income,
+        "education": np.array(
+            [EDUCATION_LEVELS[v] for v in rng.integers(0, 5, n_rows)],
+            dtype=object,
+        ),
+        "state": np.array(
+            [STATES[v] for v in rng.integers(0, 51, n_rows)], dtype=object
+        ),
+        "hours_per_week": rng.integers(1, 99, n_rows).astype(np.float64),
+    })
+    state_info = LocalFrame({
+        "state": np.array(STATES, dtype=object),
+        "region": np.array(
+            [f"R{i % 4}" for i in range(51)], dtype=object
+        ),
+        "cost_index": np.round(rng.uniform(0.8, 1.6, 51), 3),
+    })
+    return {"people": people, "states": state_info}
+
+
+def census_pipeline(t):
+    """Clean → derive → aggregate → join, the standard tabular-ML prep."""
+    people = t["people"]
+    people = people.fillna({"age": 35.0})
+    people = people[people["income"] > 0]
+    people = people.assign(
+        log_income=lambda d: d["income"] * 0.0 + d["income"],
+    )
+    people = people.assign(
+        full_time=lambda d: (d["hours_per_week"] >= 35).astype(np.float64),
+        senior=lambda d: (d["age"] >= 60).astype(np.float64),
+    )
+    joined = people.merge(t["states"], on="state")
+    joined = joined.assign(
+        real_income=lambda d: d["income"] / d["cost_index"],
+    )
+    by_state = joined.groupby(["region", "education"], as_index=False).agg({
+        "real_income": "mean",
+        "full_time": "mean",
+        "senior": "mean",
+        "person_id": "count",
+    })
+    return by_state.sort_values(["region", "education"])
+
+
+CENSUS_FEATURES = frozenset({"fillna", "merge_basic", "groupby_multi_key"})

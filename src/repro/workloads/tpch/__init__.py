@@ -1,0 +1,14 @@
+"""TPC-H workload: synthetic dbgen + all 22 queries."""
+
+from .dbgen import dataset_bytes, generate_tables, write_tables
+from .queries import ALL_QUERIES, QUERY_FEATURES, as_scalar, materialize
+
+__all__ = [
+    "ALL_QUERIES",
+    "QUERY_FEATURES",
+    "as_scalar",
+    "dataset_bytes",
+    "generate_tables",
+    "materialize",
+    "write_tables",
+]

@@ -1,0 +1,202 @@
+"""Synthetic TPC-H data generator (the repo's ``dbgen`` stand-in).
+
+Generates the eight TPC-H tables at a laptop-scale row budget while
+preserving the spec's table-size ratios, key relationships, value domains
+and date ranges, so all 22 queries exercise the same operator mix as the
+real benchmark. A ``skew`` knob concentrates order/lineitem foreign keys
+on few customers/parts to reproduce the paper's data-skew scenarios.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+from ...frame import DataFrame
+from ...frame.index import RangeIndex
+from . import schema
+
+
+def _dates(rng, n: int, start=schema.DATE_START, end=schema.DATE_END):
+    lo = np.datetime64(start).astype("datetime64[D]").astype(np.int64)
+    hi = np.datetime64(end).astype("datetime64[D]").astype(np.int64)
+    return rng.integers(lo, hi, n).astype("datetime64[D]")
+
+
+def _choice(rng, options, n: int) -> np.ndarray:
+    idx = rng.integers(0, len(options), n)
+    out = np.empty(n, dtype=object)
+    for i, j in enumerate(idx):
+        out[i] = options[j]
+    return out
+
+
+def _comments(rng, n: int, keyword_rate: float = 0.03) -> np.ndarray:
+    words = schema.P_NAME_WORDS
+    out = np.empty(n, dtype=object)
+    keyword_mask = rng.random(n) < keyword_rate
+    for i in range(n):
+        base = " ".join(
+            words[j] for j in rng.integers(0, len(words), 4)
+        )
+        if keyword_mask[i]:
+            keyword = schema.COMMENT_KEYWORDS[
+                int(rng.integers(0, len(schema.COMMENT_KEYWORDS)))
+            ]
+            base = f"{base} {keyword} {base[:8]}"
+        out[i] = base
+    return out
+
+
+def _skewed_keys(rng, n: int, n_keys: int, skew: float) -> np.ndarray:
+    """Foreign keys over ``1..n_keys``; ``skew`` in [0, 1) routes that
+    fraction of rows to ~1% of the keys (a hot head)."""
+    uniform = rng.integers(1, n_keys + 1, n)
+    if skew <= 0:
+        return uniform
+    hot_count = max(n_keys // 100, 1)
+    hot_keys = rng.integers(1, hot_count + 1, n)
+    take_hot = rng.random(n) < skew
+    return np.where(take_hot, hot_keys, uniform)
+
+
+def generate_tables(sf: float = 1.0, seed: int = 0,
+                    skew: float = 0.0) -> dict[str, DataFrame]:
+    """Generate all eight tables at scale factor ``sf``."""
+    rng = np.random.default_rng(seed)
+    counts = {
+        name: (rows if name in schema.FIXED_TABLES
+               else max(int(rows * sf), 1))
+        for name, rows in schema.ROWS_PER_SF.items()
+    }
+    tables: dict[str, DataFrame] = {}
+
+    tables["region"] = DataFrame({
+        "r_regionkey": np.arange(5, dtype=np.int64),
+        "r_name": np.array(schema.REGIONS, dtype=object),
+        "r_comment": _comments(rng, 5),
+    })
+
+    nation_names = np.array([n for n, _ in schema.NATIONS], dtype=object)
+    nation_regions = np.array([r for _, r in schema.NATIONS], dtype=np.int64)
+    tables["nation"] = DataFrame({
+        "n_nationkey": np.arange(25, dtype=np.int64),
+        "n_name": nation_names,
+        "n_regionkey": nation_regions,
+        "n_comment": _comments(rng, 25),
+    })
+
+    n_supp = counts["supplier"]
+    tables["supplier"] = DataFrame({
+        "s_suppkey": np.arange(1, n_supp + 1, dtype=np.int64),
+        "s_name": np.array([f"Supplier#{i:09d}" for i in range(1, n_supp + 1)],
+                           dtype=object),
+        "s_address": _comments(rng, n_supp, keyword_rate=0.0),
+        "s_nationkey": rng.integers(0, 25, n_supp),
+        "s_phone": np.array([f"{rng.integers(10, 35)}-{i:07d}"
+                             for i in range(n_supp)], dtype=object),
+        "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_supp), 2),
+        "s_comment": _comments(rng, n_supp),
+    })
+
+    n_cust = counts["customer"]
+    tables["customer"] = DataFrame({
+        "c_custkey": np.arange(1, n_cust + 1, dtype=np.int64),
+        "c_name": np.array([f"Customer#{i:09d}" for i in range(1, n_cust + 1)],
+                           dtype=object),
+        "c_address": _comments(rng, n_cust, keyword_rate=0.0),
+        "c_nationkey": rng.integers(0, 25, n_cust),
+        "c_phone": np.array([f"{rng.integers(10, 35)}-{i:07d}"
+                             for i in range(n_cust)], dtype=object),
+        "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_cust), 2),
+        "c_mktsegment": _choice(rng, schema.MKT_SEGMENTS, n_cust),
+        "c_comment": _comments(rng, n_cust),
+    })
+
+    n_part = counts["part"]
+    name_words = schema.P_NAME_WORDS
+    tables["part"] = DataFrame({
+        "p_partkey": np.arange(1, n_part + 1, dtype=np.int64),
+        "p_name": np.array([
+            " ".join(name_words[j] for j in rng.integers(0, len(name_words), 5))
+            for _ in range(n_part)
+        ], dtype=object),
+        "p_mfgr": np.array([f"Manufacturer#{rng.integers(1, 6)}"
+                            for _ in range(n_part)], dtype=object),
+        "p_brand": _choice(rng, schema.BRANDS, n_part),
+        "p_type": _choice(rng, schema.PART_TYPES, n_part),
+        "p_size": rng.integers(1, 51, n_part),
+        "p_container": _choice(rng, schema.PART_CONTAINERS, n_part),
+        "p_retailprice": np.round(rng.uniform(900.0, 2000.0, n_part), 2),
+        "p_comment": _comments(rng, n_part),
+    })
+
+    n_ps = counts["partsupp"]
+    tables["partsupp"] = DataFrame({
+        "ps_partkey": rng.integers(1, n_part + 1, n_ps),
+        "ps_suppkey": rng.integers(1, n_supp + 1, n_ps),
+        "ps_availqty": rng.integers(1, 10000, n_ps),
+        "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, n_ps), 2),
+        "ps_comment": _comments(rng, n_ps),
+    })
+
+    n_ord = counts["orders"]
+    order_keys = np.arange(1, n_ord + 1, dtype=np.int64)
+    tables["orders"] = DataFrame({
+        "o_orderkey": order_keys,
+        "o_custkey": _skewed_keys(rng, n_ord, n_cust, skew),
+        "o_orderstatus": _choice(rng, ["F", "O", "P"], n_ord),
+        "o_totalprice": np.round(rng.uniform(1000.0, 400000.0, n_ord), 2),
+        "o_orderdate": _dates(rng, n_ord, end="1998-08-02"),
+        "o_orderpriority": _choice(rng, schema.ORDER_PRIORITIES, n_ord),
+        "o_clerk": np.array([f"Clerk#{rng.integers(1, 1000):09d}"
+                             for _ in range(n_ord)], dtype=object),
+        "o_shippriority": np.zeros(n_ord, dtype=np.int64),
+        "o_comment": _comments(rng, n_ord),
+    })
+
+    n_li = counts["lineitem"]
+    li_orderkeys = _skewed_keys(rng, n_li, n_ord, skew)
+    order_dates = tables["orders"]["o_orderdate"].values
+    base_dates = order_dates[li_orderkeys - 1]
+    ship_delta = rng.integers(1, 121, n_li)
+    commit_delta = rng.integers(30, 91, n_li)
+    receipt_delta = rng.integers(1, 31, n_li)
+    shipdate = base_dates + ship_delta
+    tables["lineitem"] = DataFrame({
+        "l_orderkey": li_orderkeys,
+        "l_partkey": _skewed_keys(rng, n_li, n_part, skew),
+        "l_suppkey": rng.integers(1, n_supp + 1, n_li),
+        "l_linenumber": rng.integers(1, 8, n_li),
+        "l_quantity": rng.integers(1, 51, n_li).astype(np.float64),
+        "l_extendedprice": np.round(rng.uniform(900.0, 100000.0, n_li), 2),
+        "l_discount": np.round(rng.uniform(0.0, 0.10, n_li), 2),
+        "l_tax": np.round(rng.uniform(0.0, 0.08, n_li), 2),
+        "l_returnflag": _choice(rng, schema.RETURN_FLAGS, n_li),
+        "l_linestatus": _choice(rng, schema.LINE_STATUSES, n_li),
+        "l_shipdate": shipdate,
+        "l_commitdate": base_dates + commit_delta,
+        "l_receiptdate": shipdate + receipt_delta,
+        "l_shipinstruct": _choice(rng, schema.SHIP_INSTRUCTS, n_li),
+        "l_shipmode": _choice(rng, schema.SHIP_MODES, n_li),
+        "l_comment": _comments(rng, n_li),
+    })
+    return tables
+
+
+def write_tables(tables: Mapping[str, DataFrame], directory) -> dict[str, str]:
+    """Write every table as ``<dir>/<name>.rpq``; returns the path map."""
+    os.makedirs(directory, exist_ok=True)
+    paths = {}
+    for name, frame in tables.items():
+        path = os.path.join(str(directory), f"{name}.rpq")
+        frame.to_parquet(path)
+        paths[name] = path
+    return paths
+
+
+def dataset_bytes(tables: Mapping[str, DataFrame]) -> int:
+    """Total in-memory footprint of a generated dataset."""
+    return sum(frame.nbytes for frame in tables.values())

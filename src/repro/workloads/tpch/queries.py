@@ -1,0 +1,583 @@
+"""All 22 TPC-H queries written with the pandas-style dataframe API.
+
+Each query is a function ``q<i>(t)`` where ``t`` maps table name →
+dataframe handle. The same code runs against the distributed engine
+(``repro.dataframe``) and the single-node backend (``repro.frame``) —
+that interchangeability *is* the paper's drop-in-replacement claim.
+
+``as_scalar``/``keys_of`` bridge the two surfaces where a query needs a
+driver-side value (a threshold, a key list for semi/anti joins).
+
+``QUERY_FEATURES`` tags each query with the API features it exercises;
+simulated baseline engines declare unsupported features, which is how the
+harness classifies the paper's "API Compatibility" failures (Table II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+D = np.datetime64
+
+
+def as_scalar(value) -> float:
+    """Materialize a possibly-deferred reduction result."""
+    return float(value)
+
+
+def keys_of(series) -> list:
+    """Distinct values of a column as a driver-side list (for isin)."""
+    return list(series.unique())
+
+
+def materialize(obj):
+    """Fetch a deferred result; local results pass through."""
+    if hasattr(obj, "fetch"):
+        return obj.fetch()
+    return obj
+
+
+# --------------------------------------------------------------------------
+# Q1 — pricing summary report
+# --------------------------------------------------------------------------
+
+def q1(t):
+    li = t["lineitem"]
+    li = li[li["l_shipdate"] <= D("1998-09-02")]
+    li = li.assign(
+        disc_price=lambda d: d["l_extendedprice"] * (1 - d["l_discount"]),
+    )
+    li = li.assign(
+        charge=lambda d: d["disc_price"] * (1 + d["l_tax"]),
+    )
+    out = li.groupby(["l_returnflag", "l_linestatus"], as_index=False).agg({
+        "l_quantity": "sum",
+        "l_extendedprice": "sum",
+        "disc_price": "sum",
+        "charge": "sum",
+        "l_discount": "mean",
+    })
+    return out.sort_values(["l_returnflag", "l_linestatus"])
+
+
+# --------------------------------------------------------------------------
+# Q2 — minimum cost supplier (four merges, the paper's dynamic-tiling demo)
+# --------------------------------------------------------------------------
+
+def q2(t):
+    part = t["part"]
+    part = part[part["p_size"] <= 25]
+    part = part[part["p_type"].str.endswith("BRASS")]
+    europe = t["region"][t["region"]["r_name"] == "EUROPE"]
+    nations = t["nation"].merge(europe, left_on="n_regionkey",
+                                right_on="r_regionkey")
+    suppliers = t["supplier"].merge(nations, left_on="s_nationkey",
+                                    right_on="n_nationkey")
+    ps = t["partsupp"].merge(suppliers, left_on="ps_suppkey",
+                             right_on="s_suppkey")
+    ps = ps.merge(part, left_on="ps_partkey", right_on="p_partkey")
+    min_cost = ps.groupby("ps_partkey", as_index=False).agg(
+        {"ps_supplycost": "min"}
+    ).rename(columns={"ps_supplycost": "min_cost"})
+    ps = ps.merge(min_cost, on="ps_partkey")
+    best = ps[ps["ps_supplycost"] == ps["min_cost"]]
+    best = best[["s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr",
+                 "s_address", "s_phone", "s_comment"]]
+    return best.sort_values(["s_acctbal", "n_name", "s_name", "p_partkey"],
+                            ascending=[False, True, True, True]).head(100)
+
+
+# --------------------------------------------------------------------------
+# Q3 — shipping priority
+# --------------------------------------------------------------------------
+
+def q3(t):
+    cust = t["customer"]
+    cust = cust[cust["c_mktsegment"] == "BUILDING"]
+    orders = t["orders"]
+    orders = orders[orders["o_orderdate"] < D("1995-03-15")]
+    li = t["lineitem"]
+    li = li[li["l_shipdate"] > D("1995-03-15")]
+    joined = cust.merge(orders, left_on="c_custkey", right_on="o_custkey")
+    joined = joined.merge(li, left_on="o_orderkey", right_on="l_orderkey")
+    joined = joined.assign(
+        revenue=lambda d: d["l_extendedprice"] * (1 - d["l_discount"])
+    )
+    out = joined.groupby(
+        ["l_orderkey", "o_orderdate", "o_shippriority"], as_index=False
+    ).agg({"revenue": "sum"})
+    return out.sort_values(["revenue", "o_orderdate"],
+                           ascending=[False, True]).head(10)
+
+
+# --------------------------------------------------------------------------
+# Q4 — order priority checking (semi join)
+# --------------------------------------------------------------------------
+
+def q4(t):
+    orders = t["orders"]
+    orders = orders[orders["o_orderdate"] >= D("1993-07-01")]
+    orders = orders[orders["o_orderdate"] < D("1993-10-01")]
+    li = t["lineitem"]
+    late = li[li["l_commitdate"] < li["l_receiptdate"]]
+    late_orders = keys_of(late["l_orderkey"])
+    orders = orders[orders["o_orderkey"].isin(late_orders)]
+    out = orders.groupby("o_orderpriority", as_index=False).agg(
+        {"o_orderkey": "count"}
+    ).rename(columns={"o_orderkey": "order_count"})
+    return out.sort_values("o_orderpriority")
+
+
+# --------------------------------------------------------------------------
+# Q5 — local supplier volume
+# --------------------------------------------------------------------------
+
+def q5(t):
+    asia = t["region"][t["region"]["r_name"] == "ASIA"]
+    nations = t["nation"].merge(asia, left_on="n_regionkey",
+                                right_on="r_regionkey")
+    cust = t["customer"].merge(nations, left_on="c_nationkey",
+                               right_on="n_nationkey")
+    orders = t["orders"]
+    orders = orders[orders["o_orderdate"] >= D("1994-01-01")]
+    orders = orders[orders["o_orderdate"] < D("1995-01-01")]
+    joined = orders.merge(cust, left_on="o_custkey", right_on="c_custkey")
+    joined = joined.merge(t["lineitem"], left_on="o_orderkey",
+                          right_on="l_orderkey")
+    joined = joined.merge(t["supplier"], left_on="l_suppkey",
+                          right_on="s_suppkey")
+    joined = joined[joined["s_nationkey"] == joined["c_nationkey"]]
+    joined = joined.assign(
+        revenue=lambda d: d["l_extendedprice"] * (1 - d["l_discount"])
+    )
+    out = joined.groupby("n_name", as_index=False).agg({"revenue": "sum"})
+    return out.sort_values("revenue", ascending=False)
+
+
+# --------------------------------------------------------------------------
+# Q6 — forecasting revenue change (scalar)
+# --------------------------------------------------------------------------
+
+def q6(t):
+    li = t["lineitem"]
+    li = li[li["l_shipdate"] >= D("1994-01-01")]
+    li = li[li["l_shipdate"] < D("1995-01-01")]
+    li = li[li["l_discount"].between(0.05, 0.07)]
+    li = li[li["l_quantity"] < 24]
+    return as_scalar((li["l_extendedprice"] * li["l_discount"]).sum())
+
+
+# --------------------------------------------------------------------------
+# Q7 — volume shipping (many merges; the paper's nine-merge query)
+# --------------------------------------------------------------------------
+
+def q7(t):
+    nation = t["nation"]
+    n1 = nation[nation["n_name"] == "FRANCE"]
+    n2 = nation[nation["n_name"] == "GERMANY"]
+
+    def volume(supp_nation, cust_nation):
+        supp = t["supplier"].merge(
+            supp_nation.rename(columns={"n_name": "supp_nation"}),
+            left_on="s_nationkey", right_on="n_nationkey")
+        cust = t["customer"].merge(
+            cust_nation.rename(columns={"n_name": "cust_nation"}),
+            left_on="c_nationkey", right_on="n_nationkey")
+        li = t["lineitem"]
+        li = li[li["l_shipdate"] >= D("1995-01-01")]
+        li = li[li["l_shipdate"] <= D("1996-12-31")]
+        joined = li.merge(supp, left_on="l_suppkey", right_on="s_suppkey")
+        joined = joined.merge(t["orders"], left_on="l_orderkey",
+                              right_on="o_orderkey")
+        joined = joined.merge(cust, left_on="o_custkey", right_on="c_custkey")
+        return joined
+
+    both = [volume(n1, n2), volume(n2, n1)]
+    out_parts = []
+    for joined in both:
+        joined = joined.assign(
+            volume=lambda d: d["l_extendedprice"] * (1 - d["l_discount"]),
+        )
+        joined = joined.assign(l_year=lambda d: d["l_shipdate"].dt.year)
+        part = joined.groupby(
+            ["supp_nation", "cust_nation", "l_year"], as_index=False
+        ).agg({"volume": "sum"})
+        out_parts.append(materialize(part))
+    from ...frame import concat as local_concat
+
+    merged = local_concat(out_parts, ignore_index=True)
+    return merged.sort_values(["supp_nation", "cust_nation", "l_year"])
+
+
+# --------------------------------------------------------------------------
+# Q8 — national market share
+# --------------------------------------------------------------------------
+
+def q8(t):
+    part = t["part"][t["part"]["p_type"].str.endswith("STEEL")]
+    america = t["region"][t["region"]["r_name"] == "AMERICA"]
+    nations_in_region = t["nation"].merge(
+        america, left_on="n_regionkey", right_on="r_regionkey")
+    cust = t["customer"].merge(nations_in_region, left_on="c_nationkey",
+                               right_on="n_nationkey")
+    orders = t["orders"]
+    orders = orders[orders["o_orderdate"] >= D("1995-01-01")]
+    orders = orders[orders["o_orderdate"] <= D("1996-12-31")]
+    li = t["lineitem"].merge(part, left_on="l_partkey", right_on="p_partkey")
+    joined = li.merge(orders, left_on="l_orderkey", right_on="o_orderkey")
+    joined = joined.merge(cust, left_on="o_custkey", right_on="c_custkey")
+    supp_nation = t["supplier"].merge(
+        t["nation"].rename(columns={"n_name": "supp_nation",
+                                    "n_nationkey": "supp_nationkey"}),
+        left_on="s_nationkey", right_on="supp_nationkey")
+    joined = joined.merge(supp_nation, left_on="l_suppkey",
+                          right_on="s_suppkey")
+    joined = joined.assign(
+        volume=lambda d: d["l_extendedprice"] * (1 - d["l_discount"]),
+    )
+    joined = joined.assign(o_year=lambda d: d["o_orderdate"].dt.year)
+    joined = joined.assign(
+        brazil_volume=lambda d: d["volume"].where(
+            d["supp_nation"] == "BRAZIL", 0.0
+        )
+    )
+    out = joined.groupby("o_year", as_index=False).agg(
+        {"brazil_volume": "sum", "volume": "sum"}
+    )
+    out = out.assign(mkt_share=lambda d: d["brazil_volume"] / d["volume"])
+    return out[["o_year", "mkt_share"]].sort_values("o_year")
+
+
+# --------------------------------------------------------------------------
+# Q9 — product type profit measure
+# --------------------------------------------------------------------------
+
+def q9(t):
+    part = t["part"][t["part"]["p_name"].str.contains("green")]
+    li = t["lineitem"].merge(part, left_on="l_partkey", right_on="p_partkey")
+    li = li.merge(t["supplier"], left_on="l_suppkey", right_on="s_suppkey")
+    li = li.merge(t["partsupp"], left_on=["l_partkey", "l_suppkey"],
+                  right_on=["ps_partkey", "ps_suppkey"])
+    li = li.merge(t["orders"], left_on="l_orderkey", right_on="o_orderkey")
+    li = li.merge(t["nation"], left_on="s_nationkey", right_on="n_nationkey")
+    li = li.assign(
+        amount=lambda d: d["l_extendedprice"] * (1 - d["l_discount"])
+        - d["ps_supplycost"] * d["l_quantity"],
+    )
+    li = li.assign(o_year=lambda d: d["o_orderdate"].dt.year)
+    out = li.groupby(["n_name", "o_year"], as_index=False).agg(
+        {"amount": "sum"}
+    )
+    return out.sort_values(["n_name", "o_year"], ascending=[True, False])
+
+
+# --------------------------------------------------------------------------
+# Q10 — returned item reporting
+# --------------------------------------------------------------------------
+
+def q10(t):
+    orders = t["orders"]
+    orders = orders[orders["o_orderdate"] >= D("1993-10-01")]
+    orders = orders[orders["o_orderdate"] < D("1994-01-01")]
+    li = t["lineitem"][t["lineitem"]["l_returnflag"] == "R"]
+    joined = t["customer"].merge(orders, left_on="c_custkey",
+                                 right_on="o_custkey")
+    joined = joined.merge(li, left_on="o_orderkey", right_on="l_orderkey")
+    joined = joined.merge(t["nation"], left_on="c_nationkey",
+                          right_on="n_nationkey")
+    joined = joined.assign(
+        revenue=lambda d: d["l_extendedprice"] * (1 - d["l_discount"])
+    )
+    out = joined.groupby(
+        ["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name"],
+        as_index=False,
+    ).agg({"revenue": "sum"})
+    return out.sort_values("revenue", ascending=False).head(20)
+
+
+# --------------------------------------------------------------------------
+# Q11 — important stock identification (scalar threshold subquery)
+# --------------------------------------------------------------------------
+
+def q11(t):
+    germany = t["nation"][t["nation"]["n_name"] == "GERMANY"]
+    supp = t["supplier"].merge(germany, left_on="s_nationkey",
+                               right_on="n_nationkey")
+    ps = t["partsupp"].merge(supp, left_on="ps_suppkey", right_on="s_suppkey")
+    ps = ps.assign(value=lambda d: d["ps_supplycost"] * d["ps_availqty"])
+    total = as_scalar(ps["value"].sum())
+    per_part = ps.groupby("ps_partkey", as_index=False).agg({"value": "sum"})
+    out = per_part[per_part["value"] > total * 0.001]
+    return out.sort_values("value", ascending=False)
+
+
+# --------------------------------------------------------------------------
+# Q12 — shipping modes and order priority
+# --------------------------------------------------------------------------
+
+def q12(t):
+    li = t["lineitem"]
+    li = li[li["l_shipmode"].isin(["MAIL", "SHIP"])]
+    li = li[li["l_commitdate"] < li["l_receiptdate"]]
+    li = li[li["l_shipdate"] < li["l_commitdate"]]
+    li = li[li["l_receiptdate"] >= D("1994-01-01")]
+    li = li[li["l_receiptdate"] < D("1995-01-01")]
+    joined = li.merge(t["orders"], left_on="l_orderkey", right_on="o_orderkey")
+    joined = joined.assign(
+        high=lambda d: d["o_orderpriority"].isin(
+            ["1-URGENT", "2-HIGH"]
+        ).astype(np.float64),
+    )
+    joined = joined.assign(low=lambda d: 1.0 - d["high"])
+    out = joined.groupby("l_shipmode", as_index=False).agg(
+        {"high": "sum", "low": "sum"}
+    )
+    return out.sort_values("l_shipmode")
+
+
+# --------------------------------------------------------------------------
+# Q13 — customer distribution (left join + named aggregation)
+# --------------------------------------------------------------------------
+
+def q13(t):
+    orders = t["orders"]
+    orders = orders[~orders["o_comment"].str.contains("special requests")]
+    joined = t["customer"].merge(orders, left_on="c_custkey",
+                                 right_on="o_custkey", how="left")
+    counts = joined.groupby("c_custkey", as_index=False).agg(
+        c_count=("o_orderkey", "count")
+    )
+    out = counts.groupby("c_count", as_index=False).agg(
+        custdist=("c_count", "size")
+    )
+    return out.sort_values(["custdist", "c_count"], ascending=[False, False])
+
+
+# --------------------------------------------------------------------------
+# Q14 — promotion effect (scalar)
+# --------------------------------------------------------------------------
+
+def q14(t):
+    li = t["lineitem"]
+    li = li[li["l_shipdate"] >= D("1995-09-01")]
+    li = li[li["l_shipdate"] < D("1995-10-01")]
+    joined = li.merge(t["part"], left_on="l_partkey", right_on="p_partkey")
+    joined = joined.assign(
+        revenue=lambda d: d["l_extendedprice"] * (1 - d["l_discount"]),
+    )
+    joined = joined.assign(
+        promo=lambda d: d["revenue"].where(
+            d["p_type"].str.startswith("PROMO"), 0.0
+        )
+    )
+    promo = as_scalar(joined["promo"].sum())
+    total = as_scalar(joined["revenue"].sum())
+    return 100.0 * promo / total if total else 0.0
+
+
+# --------------------------------------------------------------------------
+# Q15 — top supplier (scalar max subquery)
+# --------------------------------------------------------------------------
+
+def q15(t):
+    li = t["lineitem"]
+    li = li[li["l_shipdate"] >= D("1996-01-01")]
+    li = li[li["l_shipdate"] < D("1996-04-01")]
+    li = li.assign(
+        revenue=lambda d: d["l_extendedprice"] * (1 - d["l_discount"])
+    )
+    per_supp = li.groupby("l_suppkey", as_index=False).agg({"revenue": "sum"})
+    top = as_scalar(per_supp["revenue"].max())
+    best = per_supp[per_supp["revenue"] >= top * (1 - 1e-9)]
+    out = best.merge(t["supplier"], left_on="l_suppkey", right_on="s_suppkey")
+    return out[["s_suppkey", "s_name", "s_address", "s_phone", "revenue"]]
+
+
+# --------------------------------------------------------------------------
+# Q16 — parts/supplier relationship (anti join + count distinct)
+# --------------------------------------------------------------------------
+
+def q16(t):
+    supp = t["supplier"]
+    complained = supp[supp["s_comment"].str.contains("Customer Complaints")]
+    bad_keys = keys_of(complained["s_suppkey"])
+    part = t["part"]
+    part = part[part["p_brand"] != "Brand#45"]
+    part = part[~part["p_type"].str.startswith("MEDIUM POLISHED")]
+    part = part[part["p_size"].isin([49, 14, 23, 45, 19, 3, 36, 9])]
+    ps = t["partsupp"].merge(part, left_on="ps_partkey", right_on="p_partkey")
+    ps = ps[~ps["ps_suppkey"].isin(bad_keys)]
+    out = ps.groupby(["p_brand", "p_type", "p_size"], as_index=False).agg(
+        supplier_cnt=("ps_suppkey", "nunique")
+    )
+    return out.sort_values(
+        ["supplier_cnt", "p_brand", "p_type", "p_size"],
+        ascending=[False, True, True, True],
+    )
+
+
+# --------------------------------------------------------------------------
+# Q17 — small-quantity-order revenue (correlated avg subquery)
+# --------------------------------------------------------------------------
+
+def q17(t):
+    part = t["part"]
+    part = part[part["p_container"].str.endswith("BOX")]
+    li = t["lineitem"].merge(part, left_on="l_partkey", right_on="p_partkey")
+    avg_qty = li.groupby("l_partkey", as_index=False).agg(
+        {"l_quantity": "mean"}
+    ).rename(columns={"l_quantity": "avg_qty"})
+    joined = li.merge(avg_qty, on="l_partkey")
+    small = joined[joined["l_quantity"] < joined["avg_qty"] * 0.2]
+    return as_scalar(small["l_extendedprice"].sum()) / 7.0
+
+
+# --------------------------------------------------------------------------
+# Q18 — large volume customers
+# --------------------------------------------------------------------------
+
+def q18(t, qty_threshold: float = 150.0):
+    li = t["lineitem"]
+    per_order = li.groupby("l_orderkey", as_index=False).agg(
+        {"l_quantity": "sum"}
+    ).rename(columns={"l_quantity": "total_qty"})
+    big = per_order[per_order["total_qty"] > qty_threshold]
+    joined = big.merge(t["orders"], left_on="l_orderkey",
+                       right_on="o_orderkey")
+    joined = joined.merge(t["customer"], left_on="o_custkey",
+                          right_on="c_custkey")
+    out = joined[["c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                  "o_totalprice", "total_qty"]]
+    return out.sort_values(["o_totalprice", "o_orderdate"],
+                           ascending=[False, True]).head(100)
+
+
+# --------------------------------------------------------------------------
+# Q19 — discounted revenue (disjunctive predicates, scalar)
+# --------------------------------------------------------------------------
+
+def q19(t):
+    joined = t["lineitem"].merge(t["part"], left_on="l_partkey",
+                                 right_on="p_partkey")
+    joined = joined[joined["l_shipmode"].isin(["AIR", "REG AIR"])]
+    joined = joined[joined["l_shipinstruct"] == "DELIVER IN PERSON"]
+    b1 = (joined["p_brand"] == "Brand#12") \
+        & joined["l_quantity"].between(1, 11) & (joined["p_size"] <= 5)
+    b2 = (joined["p_brand"] == "Brand#23") \
+        & joined["l_quantity"].between(10, 20) & (joined["p_size"] <= 10)
+    b3 = (joined["p_brand"] == "Brand#34") \
+        & joined["l_quantity"].between(20, 30) & (joined["p_size"] <= 15)
+    matched = joined[b1 | b2 | b3]
+    return as_scalar(
+        (matched["l_extendedprice"] * (1 - matched["l_discount"])).sum()
+    )
+
+
+# --------------------------------------------------------------------------
+# Q20 — potential part promotion (nested semi joins)
+# --------------------------------------------------------------------------
+
+def q20(t):
+    part = t["part"][t["part"]["p_name"].str.startswith("forest")]
+    part_keys = keys_of(part["p_partkey"])
+    li = t["lineitem"]
+    li = li[li["l_shipdate"] >= D("1994-01-01")]
+    li = li[li["l_shipdate"] < D("1995-01-01")]
+    li = li[li["l_partkey"].isin(part_keys)]
+    shipped = li.groupby(["l_partkey", "l_suppkey"], as_index=False).agg(
+        {"l_quantity": "sum"}
+    ).rename(columns={"l_quantity": "shipped_qty"})
+    ps = t["partsupp"][t["partsupp"]["ps_partkey"].isin(part_keys)]
+    joined = ps.merge(shipped, left_on=["ps_partkey", "ps_suppkey"],
+                      right_on=["l_partkey", "l_suppkey"])
+    qualified = joined[joined["ps_availqty"] > joined["shipped_qty"] * 0.5]
+    supp_keys = keys_of(qualified["ps_suppkey"])
+    canada = t["nation"][t["nation"]["n_name"] == "CANADA"]
+    supp = t["supplier"].merge(canada, left_on="s_nationkey",
+                               right_on="n_nationkey")
+    supp = supp[supp["s_suppkey"].isin(supp_keys)]
+    return materialize(supp[["s_name", "s_address"]].sort_values("s_name"))
+
+
+# --------------------------------------------------------------------------
+# Q21 — suppliers who kept orders waiting (multi-exists)
+# --------------------------------------------------------------------------
+
+def q21(t):
+    orders = t["orders"][t["orders"]["o_orderstatus"] == "F"]
+    li = t["lineitem"].merge(orders, left_on="l_orderkey",
+                             right_on="o_orderkey")
+    per_order = li.groupby("l_orderkey", as_index=False).agg(
+        supp_count=("l_suppkey", "nunique")
+    )
+    multi = per_order[per_order["supp_count"] > 1]
+    late = li[li["l_receiptdate"] > li["l_commitdate"]]
+    late_per_order = late.groupby("l_orderkey", as_index=False).agg(
+        late_supp_count=("l_suppkey", "nunique")
+    )
+    single_late = late_per_order[late_per_order["late_supp_count"] == 1]
+    target = multi.merge(single_late, on="l_orderkey")
+    culprits = late.merge(target, on="l_orderkey")
+    culprits = culprits.merge(t["supplier"], left_on="l_suppkey",
+                              right_on="s_suppkey")
+    saudi = culprits.merge(t["nation"], left_on="s_nationkey",
+                           right_on="n_nationkey")
+    saudi = saudi[saudi["n_name"] == "SAUDI ARABIA"]
+    out = saudi.groupby("s_name", as_index=False).agg(
+        numwait=("l_orderkey", "nunique")
+    )
+    return out.sort_values(["numwait", "s_name"],
+                           ascending=[False, True]).head(100)
+
+
+# --------------------------------------------------------------------------
+# Q22 — global sales opportunity (anti join + scalar avg)
+# --------------------------------------------------------------------------
+
+def q22(t):
+    cust = t["customer"]
+    cust = cust.assign(cntrycode=lambda d: d["c_phone"].str.slice(0, 2))
+    codes = ["13", "31", "23", "29", "30", "18", "17"]
+    cust = cust[cust["cntrycode"].isin(codes)]
+    positive = cust[cust["c_acctbal"] > 0.0]
+    avg_bal = as_scalar(positive["c_acctbal"].mean())
+    rich = cust[cust["c_acctbal"] > avg_bal]
+    with_orders = keys_of(t["orders"]["o_custkey"])
+    no_orders = rich[~rich["c_custkey"].isin(with_orders)]
+    out = no_orders.groupby("cntrycode", as_index=False).agg(
+        {"c_custkey": "count", "c_acctbal": "sum"}
+    ).rename(columns={"c_custkey": "numcust", "c_acctbal": "totacctbal"})
+    return out.sort_values("cntrycode")
+
+
+ALL_QUERIES = {f"q{i}": globals()[f"q{i}"] for i in range(1, 23)}
+
+#: API features each query exercises, used by the engine compat matrices.
+QUERY_FEATURES: dict[str, frozenset] = {
+    "q1": frozenset({"groupby_multi_key", "dt_compare", "assign"}),
+    "q2": frozenset({"merge_basic", "str_ops", "sort_multi"}),
+    "q3": frozenset({"merge_basic", "groupby_multi_key", "sort_multi"}),
+    "q4": frozenset({"isin_semi_join", "groupby_basic"}),
+    "q5": frozenset({"merge_basic", "cross_column_filter"}),
+    "q6": frozenset({"between", "scalar_reduce"}),
+    "q7": frozenset({"merge_basic", "dt_ops", "concat"}),
+    "q8": frozenset({"merge_basic", "where_case", "dt_ops"}),
+    "q9": frozenset({"merge_multi_key", "str_ops", "dt_ops"}),
+    "q10": frozenset({"merge_basic", "groupby_multi_key", "sort_single"}),
+    "q11": frozenset({"merge_basic", "scalar_reduce"}),
+    "q12": frozenset({"isin_semi_join", "cross_column_filter",
+                      "where_case"}),
+    "q13": frozenset({"merge_left", "groupby_named_agg",
+                      "groupby_of_groupby"}),
+    "q14": frozenset({"merge_basic", "where_case", "scalar_reduce"}),
+    "q15": frozenset({"groupby_basic", "scalar_reduce"}),
+    "q16": frozenset({"isin_semi_join", "groupby_nunique",
+                      "groupby_named_agg"}),
+    "q17": frozenset({"merge_basic", "groupby_basic", "scalar_reduce"}),
+    "q18": frozenset({"groupby_basic", "merge_basic", "sort_multi"}),
+    "q19": frozenset({"between", "boolean_or", "scalar_reduce"}),
+    "q20": frozenset({"isin_semi_join", "merge_multi_key", "str_ops"}),
+    "q21": frozenset({"groupby_nunique", "merge_basic",
+                      "groupby_named_agg"}),
+    "q22": frozenset({"str_ops", "isin_semi_join", "scalar_reduce"}),
+}

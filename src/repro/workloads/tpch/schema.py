@@ -1,0 +1,81 @@
+"""TPC-H schema constants (column names, enums, date ranges).
+
+The real benchmark's schema, scaled down in row counts by
+:mod:`repro.workloads.tpch.dbgen`; columns and value domains follow the
+TPC-H specification closely enough for all 22 queries to be meaningful.
+"""
+
+from __future__ import annotations
+
+#: rows per scale-factor unit (real TPC-H uses 1500/6000 thousands; the
+#: reproduction keeps the same *ratios* at laptop scale).
+ROWS_PER_SF = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 20,
+    "customer": 150,
+    "part": 40,
+    "partsupp": 160,
+    "orders": 300,
+    "lineitem": 1200,
+}
+
+#: tables that do not grow with the scale factor.
+FIXED_TABLES = ("region", "nation")
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+MKT_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                "MACHINERY"]
+
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                    "5-LOW"]
+
+SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+
+SHIP_INSTRUCTS = ["COLLECT COD", "DELIVER IN PERSON", "NONE",
+                  "TAKE BACK RETURN"]
+
+RETURN_FLAGS = ["A", "N", "R"]
+LINE_STATUSES = ["F", "O"]
+
+PART_TYPES = [
+    f"{a} {b} {c}"
+    for a in ("ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD")
+    for b in ("ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED")
+    for c in ("BRASS", "COPPER", "NICKEL", "STEEL", "TIN")
+]
+
+PART_CONTAINERS = [
+    f"{a} {b}"
+    for a in ("JUMBO", "LG", "MED", "SM", "WRAP")
+    for b in ("BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG")
+]
+
+BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+
+P_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "hazel", "indian", "ivory",
+]
+
+#: comment keywords some queries grep for.
+COMMENT_KEYWORDS = ["special requests", "Customer Complaints",
+                    "pending deposits", "unusual accounts"]
+
+DATE_START = "1992-01-01"
+DATE_END = "1998-08-02"

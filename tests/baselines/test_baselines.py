@@ -1,0 +1,194 @@
+"""Tests for the baseline-engine framework and the API coverage matrix."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    COVERAGE_CASES,
+    ENGINE_UNSUPPORTED,
+    PROFILES,
+    STATUS_API,
+    STATUS_OK,
+    STATUS_OOM,
+    Workload,
+    coverage_rate,
+    coverage_table,
+    make_engine,
+    make_fixture,
+    supported_cases,
+)
+from repro.frame import DataFrame as LocalFrame
+
+MiB = 1024 * 1024
+
+
+def small_tables(n=2_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "t": LocalFrame({
+            "k": rng.integers(0, 10, n),
+            "v": rng.normal(size=n),
+        })
+    }
+
+
+def groupby_workload():
+    return Workload(
+        "gb", lambda t: t["t"].groupby("k").agg({"v": "sum"}),
+        frozenset({"groupby_basic"}),
+    )
+
+
+class TestEngineFramework:
+    def test_every_profile_runs_simple_workload(self):
+        tables = small_tables()
+        for name in PROFILES:
+            result = make_engine(name).run(
+                groupby_workload(), tables,
+                n_workers=2, memory_limit=64 * MiB,
+                chunk_store_limit=64 * 1024,
+            )
+            assert result.status == STATUS_OK, (name, result.error)
+            assert result.makespan > 0
+
+    def test_engines_produce_identical_results(self):
+        tables = small_tables()
+        values = {}
+        for name in ("xorbits", "dask", "modin", "pandas"):
+            result = make_engine(name).run(
+                groupby_workload(), tables,
+                n_workers=2, memory_limit=64 * MiB,
+                chunk_store_limit=64 * 1024,
+            )
+            values[name] = result.value.sort_index()
+        base = values["xorbits"]
+        for name, frame in values.items():
+            np.testing.assert_allclose(
+                np.asarray(frame["v"].values, float),
+                np.asarray(base["v"].values, float),
+                err_msg=name,
+            )
+
+    def test_api_failure_without_execution(self):
+        workload = Workload("iloc_thing", lambda t: t["t"].iloc[5],
+                            frozenset({"iloc"}))
+        result = make_engine("dask").run(workload, small_tables())
+        assert result.status == STATUS_API
+        assert "iloc" in result.error
+
+    def test_oom_classified(self):
+        tables = small_tables(n=30_000)
+        result = make_engine("pandas").run(
+            groupby_workload(), tables,
+            memory_limit=200 * 1024, chunk_store_limit=64 * 1024,
+        )
+        assert result.status == STATUS_OOM
+        assert result.failed
+
+    def test_xorbits_survives_memory_pressure_that_kills_modin(self):
+        """The headline mechanism: spill + lifecycle release vs an eager
+        engine pinning every user-level intermediate frame."""
+        rng = np.random.default_rng(9)
+        n = 40_000
+        tables = {
+            "t": LocalFrame({
+                "k": rng.integers(0, 200, n),
+                "v": rng.normal(size=n),
+                "w": rng.normal(size=n),
+            }),
+            "dim": LocalFrame({
+                "k": np.arange(200, dtype=np.int64),
+                "label": rng.normal(size=200),
+            }),
+        }
+
+        def chained(t):
+            # several user-visible intermediates, each ~dataset-sized
+            step1 = t["t"].merge(t["dim"], on="k")
+            step2 = step1.assign(y=lambda d: d["v"] + d["label"])
+            step3 = step2[step2["y"] > -10.0]  # keeps almost everything
+            return step3.groupby("k").agg({"y": "sum"})
+
+        workload = Workload("chained", chained, frozenset())
+        data_bytes = sum(f.nbytes for f in tables.values())
+        limit = int(data_bytes * 0.6)
+        kwargs = dict(n_workers=2, memory_limit=limit,
+                      chunk_store_limit=data_bytes // 24)
+        modin = make_engine("modin").run(workload, tables, **kwargs)
+        xorbits = make_engine("xorbits").run(workload, tables, **kwargs)
+        assert xorbits.status == STATUS_OK, xorbits.error
+        assert modin.failed, "eager retention must exhaust the object store"
+
+    def test_pandas_single_thread_slower_than_xorbits(self):
+        tables = small_tables(n=20_000)
+        kwargs = dict(n_workers=2, memory_limit=256 * MiB,
+                      chunk_store_limit=128 * 1024)
+        pandas = make_engine("pandas").run(groupby_workload(), tables, **kwargs)
+        xorbits = make_engine("xorbits").run(groupby_workload(), tables, **kwargs)
+        assert pandas.status == xorbits.status == STATUS_OK
+        assert pandas.makespan > xorbits.makespan
+
+    def test_profile_config_overrides_applied(self):
+        cfg = PROFILES["modin"].build_config(4, 64 * MiB, 1 * MiB)
+        assert cfg.dynamic_tiling is False
+        assert cfg.spill_to_disk is False
+        assert cfg.combine_stage is False
+        cfg = PROFILES["xorbits"].build_config(4, 64 * MiB, 1 * MiB)
+        assert cfg.dynamic_tiling is True
+
+    def test_calibration_scales_bandwidth(self):
+        small = PROFILES["xorbits"].build_config(2, 64 * MiB, 1 * MiB,
+                                                 data_bytes=1_000_000)
+        big = PROFILES["xorbits"].build_config(2, 64 * MiB, 1 * MiB,
+                                               data_bytes=100_000_000)
+        assert big.cost_model.compute_bandwidth > small.cost_model.compute_bandwidth
+
+
+class TestCoverageMatrix:
+    def test_thirty_cases(self):
+        assert len(COVERAGE_CASES) == 30
+        names = [c.name for c in COVERAGE_CASES]
+        assert len(set(names)) == 30
+
+    def test_rates_match_table5(self):
+        rates = coverage_table()
+        assert rates["xorbits"] == pytest.approx(29 / 30)
+        assert rates["modin"] == pytest.approx(29 / 30)
+        assert rates["dask"] == pytest.approx(14 / 30)
+        assert rates["pyspark"] == pytest.approx(11 / 30)
+        assert rates["pandas"] == 1.0
+
+    def test_unsupported_engines_known(self):
+        for engine in ("xorbits", "pandas", "dask", "modin", "pyspark"):
+            assert engine in ENGINE_UNSUPPORTED
+        with pytest.raises(KeyError):
+            coverage_rate("duckdb")
+
+    def test_xorbits_supported_cases_execute(self):
+        """The claimed coverage is backed by running code."""
+        from repro.config import Config
+        from repro.core import Session
+        from repro.dataframe import from_frame
+        from repro.workloads.tpch.queries import materialize
+
+        cfg = Config()
+        cfg.chunk_store_limit = 8_000
+        session = Session(cfg)
+        fixture = make_fixture()
+        handles = {k: from_frame(v, session) for k, v in fixture.items()}
+        ran = 0
+        for case in supported_cases("xorbits"):
+            if case.fn is None:
+                continue
+            value = materialize(case.fn(handles))
+            assert value is not None, case.name
+            ran += 1
+        session.close()
+        assert ran >= 24
+
+    def test_dask_misses_iloc_pyspark_misses_named_agg(self):
+        # the two flagship documented gaps from the paper's Listing 1 & VI-E
+        assert "iloc" in ENGINE_UNSUPPORTED["dask"]
+        assert "groupby_named_agg" in ENGINE_UNSUPPORTED["pyspark"]
+        assert "iloc" not in ENGINE_UNSUPPORTED["xorbits"]
+        assert "groupby_named_agg" not in ENGINE_UNSUPPORTED["xorbits"]

@@ -1,0 +1,87 @@
+"""Tests for the diagnostics/introspection helpers."""
+
+import numpy as np
+import pytest
+
+from repro import diagnostics
+from repro.config import Config
+from repro.core import Session, build_tileable_graph
+from repro.core.tiler import chunk_closure
+from repro.dataframe import from_frame
+from repro import frame as pf
+
+
+@pytest.fixture
+def session():
+    cfg = Config()
+    cfg.chunk_store_limit = 4_000
+    s = Session(cfg)
+    yield s
+    s.close()
+
+
+@pytest.fixture
+def result(session):
+    rng = np.random.default_rng(0)
+    local = pf.DataFrame({"k": rng.integers(0, 4, 300),
+                          "v": rng.normal(size=300)})
+    df = from_frame(local, session)
+    out = df.groupby("k").agg({"v": "sum"})
+    out.execute()
+    return out
+
+
+class TestGraphExport:
+    def test_tileable_graph_dot(self, session):
+        df = from_frame(pf.DataFrame({"k": [1, 2], "v": [1.0, 2.0]}),
+                        session)
+        out = df.groupby("k").agg({"v": "sum"})  # NOT executed: full plan
+        graph = build_tileable_graph([out.data])
+        dot = diagnostics.graph_to_dot(graph)
+        assert dot.startswith("digraph")
+        assert "GroupByAgg" in dot
+        assert "->" in dot
+
+    def test_chunk_graph_dot(self, session, result):
+        graph = chunk_closure(result.data.chunks, lambda key: False)
+        dot = diagnostics.graph_to_dot(graph, name="chunks")
+        assert "digraph chunks" in dot
+        assert dot.count("[label=") == len(graph)
+
+    def test_describe_tileable(self, result):
+        text = diagnostics.describe_tileable(result.data)
+        assert "GroupByAgg" in text
+        assert "chunks:" in text
+
+    def test_describe_untiled(self, session):
+        df = from_frame(pf.DataFrame({"a": [1]}), session)
+        assert "not tiled" in diagnostics.describe_tileable(df.data)
+
+    def test_lineage(self, session):
+        df = from_frame(pf.DataFrame({"a": [1.0, 2.0]}), session)
+        chained = (df["a"] * 2).to_frame("b")
+        text = diagnostics.lineage(chained.data)
+        assert "Elementwise" in text
+        assert "FromFrame" in text
+        assert " <- " in text
+
+
+class TestRuntimeReports:
+    def test_band_timeline(self, session, result):
+        text = diagnostics.band_timeline(session)
+        assert "virtual makespan" in text
+        assert "% busy" in text
+        assert text.count("|") >= 2
+
+    def test_memory_report(self, session, result):
+        text = diagnostics.memory_report(session)
+        assert "worker-0" in text
+        assert "total spilled" in text
+
+    def test_session_summary(self, session, result):
+        text = diagnostics.session_summary(session)
+        assert "subtasks" in text
+        assert "dynamic-tiling switches" in text
+
+    def test_timeline_without_work(self, session):
+        assert "0.0000s" in diagnostics.band_timeline(session)

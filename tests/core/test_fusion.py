@@ -1,0 +1,159 @@
+"""Unit tests for coloring-based graph-level fusion (Fig. 7) and
+operator-level fusion planning."""
+
+from repro.core import color_chunk_graph, fusion_groups, singleton_groups
+from repro.core.operator import Operator
+from repro.core.opfusion import plan_subtask, step_io_keys
+from repro.graph import DAG, ChunkData, Subtask
+
+
+class PlainOp(Operator):
+    def execute(self, ctx):
+        return None
+
+
+class ElemOp(Operator):
+    is_elementwise = True
+
+    def execute(self, ctx):
+        return None
+
+
+def make_chunk(op_cls, inputs, idx):
+    op = op_cls()
+    return op.new_chunk(inputs, "tensor", (1,), (idx,))
+
+
+def build(edges_spec):
+    """Build a chunk graph from {name: [pred names]} (insertion order)."""
+    graph = DAG()
+    chunks = {}
+    for i, (name, preds) in enumerate(edges_spec.items()):
+        chunk = make_chunk(PlainOp, [chunks[p] for p in preds], i)
+        chunks[name] = chunk
+        graph.add_node(chunk)
+        for p in preds:
+            graph.add_edge(chunks[p], chunk)
+    return graph, chunks
+
+
+def groups_as_names(graph, chunks):
+    groups = fusion_groups(graph)
+    name_of = {chunk.key: name for name, chunk in chunks.items()}
+    return [sorted(name_of[c.key] for c in group) for group in groups]
+
+
+class TestColoring:
+    def test_straight_line_fuses(self):
+        graph, chunks = build({"a": [], "b": ["a"], "c": ["b"]})
+        groups = groups_as_names(graph, chunks)
+        assert groups == [["a", "b", "c"]]
+
+    def test_independent_sources_get_distinct_colors(self):
+        graph, chunks = build({"a": [], "b": []})
+        color = color_chunk_graph(graph)
+        assert color[chunks["a"].key] != color[chunks["b"].key]
+
+    def test_join_of_different_colors_gets_new_color(self):
+        graph, chunks = build({"a": [], "b": [], "c": ["a", "b"]})
+        color = color_chunk_graph(graph)
+        assert color[chunks["c"].key] not in (
+            color[chunks["a"].key], color[chunks["b"].key]
+        )
+        groups = groups_as_names(graph, chunks)
+        assert sorted(groups) == [["a"], ["b"], ["c"]]
+
+    def test_diamond_reconverges_into_one_group(self):
+        # a feeds b and c (both inherit a's color in step 2); d joins b+c.
+        # b and c share a color so d inherits it; step 3 sees a's
+        # successors all sharing a's color → no separation: all fused.
+        graph, chunks = build({
+            "a": [], "b": ["a"], "c": ["a"], "d": ["b", "c"]
+        })
+        groups = groups_as_names(graph, chunks)
+        assert groups == [["a", "b", "c", "d"]]
+
+    def test_step3_separates_mixed_branch(self):
+        # Fig. 7 pattern: a -> b (same color chain) but a also feeds j,
+        # which joins with another source s, so j has a different color.
+        # Step 3 must split b away from a.
+        graph, chunks = build({
+            "a": [], "s": [], "b": ["a"], "j": ["a", "s"], "b2": ["b"],
+        })
+        color = color_chunk_graph(graph)
+        assert color[chunks["b"].key] != color[chunks["a"].key]
+        # the recolor propagates down b's chain
+        assert color[chunks["b2"].key] == color[chunks["b"].key]
+        groups = groups_as_names(graph, chunks)
+        assert ["b", "b2"] in groups
+        assert ["a"] in groups
+
+    def test_groups_partition_nodes(self):
+        graph, chunks = build({
+            "a": [], "b": ["a"], "c": ["a"], "d": ["b"], "e": ["c", "d"],
+        })
+        groups = fusion_groups(graph)
+        seen = [c.key for g in groups for c in g]
+        assert sorted(seen) == sorted(c.key for c in graph.nodes())
+
+    def test_same_color_requires_connectivity(self):
+        # two disjoint straight lines must not share a subtask
+        graph, chunks = build({"a": [], "b": ["a"], "x": [], "y": ["x"]})
+        groups = groups_as_names(graph, chunks)
+        assert sorted(groups) == [["a", "b"], ["x", "y"]]
+
+    def test_singleton_groups(self):
+        graph, chunks = build({"a": [], "b": ["a"]})
+        groups = singleton_groups(graph)
+        assert all(len(g) == 1 for g in groups)
+        assert len(groups) == 2
+
+
+class TestOperatorFusionPlan:
+    def test_elementwise_chain_becomes_one_step(self):
+        a = make_chunk(ElemOp, [], 0)
+        b = make_chunk(ElemOp, [a], 1)
+        c = make_chunk(ElemOp, [b], 2)
+        subtask = Subtask([a, b, c])
+        steps = plan_subtask(subtask, enable=True)
+        assert len(steps) == 1
+        assert [ch.key for ch in steps[0]] == [a.key, b.key, c.key]
+
+    def test_disabled_gives_one_step_per_op(self):
+        a = make_chunk(ElemOp, [], 0)
+        b = make_chunk(ElemOp, [a], 1)
+        subtask = Subtask([a, b])
+        assert len(plan_subtask(subtask, enable=False)) == 2
+
+    def test_non_elementwise_breaks_chain(self):
+        a = make_chunk(ElemOp, [], 0)
+        b = make_chunk(PlainOp, [a], 1)
+        c = make_chunk(ElemOp, [b], 2)
+        subtask = Subtask([a, b, c])
+        steps = plan_subtask(subtask, enable=True)
+        assert len(steps) == 3
+
+    def test_branching_consumer_breaks_chain(self):
+        a = make_chunk(ElemOp, [], 0)
+        b = make_chunk(ElemOp, [a], 1)
+        c = make_chunk(ElemOp, [a], 2)  # a has two consumers
+        subtask = Subtask([a, b, c])
+        steps = plan_subtask(subtask, enable=True)
+        assert len(steps) == 3
+
+    def test_output_chunk_not_fused_away(self):
+        # a is also an output of the subtask → it must stay addressable
+        a = make_chunk(ElemOp, [], 0)
+        b = make_chunk(ElemOp, [a], 1)
+        subtask = Subtask([a, b])
+        subtask.output_keys = [a.key, b.key]
+        steps = plan_subtask(subtask, enable=True)
+        assert len(steps) == 2
+
+    def test_step_io_keys_hide_intermediates(self):
+        ext = make_chunk(PlainOp, [], 9)
+        a = make_chunk(ElemOp, [ext], 0)
+        b = make_chunk(ElemOp, [a], 1)
+        inputs, outputs = step_io_keys([a, b])
+        assert inputs == {ext.key}
+        assert outputs == {b.key}  # a is an invisible intermediate

@@ -1,0 +1,121 @@
+"""Tests for the column-pruning optimizer, including the cross-query
+source invalidation rules."""
+
+import numpy as np
+import pytest
+
+from repro.config import Config
+from repro.core import Session, build_tileable_graph, prune_columns
+from repro.dataframe import from_frame, read_parquet
+from repro import frame as pf
+
+
+@pytest.fixture
+def session():
+    cfg = Config()
+    cfg.chunk_store_limit = 8_000
+    s = Session(cfg)
+    yield s
+    s.close()
+
+
+@pytest.fixture
+def local():
+    rng = np.random.default_rng(0)
+    return pf.DataFrame({
+        "a": rng.integers(0, 5, 500),
+        "b": rng.normal(size=500),
+        "c": rng.normal(size=500),
+        "d": np.array([f"s{i % 3}" for i in range(500)], dtype=object),
+    })
+
+
+def source_pruned_columns(df):
+    """The pruned column set recorded on a tileable's datasource op."""
+    node = df.data
+    while node.op is not None and node.inputs:
+        node = node.inputs[0]
+    return getattr(node.op, "pruned_columns", None)
+
+
+class TestPruningPass:
+    def test_projection_prunes_source(self, session, local):
+        df = from_frame(local, session)
+        result = df[["b"]]
+        graph = build_tileable_graph([result.data])
+        required = prune_columns(graph, [result.data])
+        assert source_pruned_columns(result) == ["b"]
+
+    def test_filter_keeps_mask_column(self, session, local):
+        df = from_frame(local, session)
+        result = df[df["a"] > 2][["b"]]
+        graph = build_tileable_graph([result.data])
+        prune_columns(graph, [result.data])
+        pruned = source_pruned_columns(result)
+        assert set(pruned) == {"a", "b"}
+
+    def test_groupby_requires_keys_and_values(self, session, local):
+        df = from_frame(local, session)
+        result = df.groupby("a").agg({"c": "sum"})
+        graph = build_tileable_graph([result.data])
+        prune_columns(graph, [result.data])
+        assert set(source_pruned_columns(result)) == {"a", "c"}
+
+    def test_result_requires_everything(self, session, local):
+        df = from_frame(local, session)
+        graph = build_tileable_graph([df.data])
+        required = prune_columns(graph, [df.data])
+        assert required[df.data.key] is None  # the user sees it all
+
+    def test_merge_requires_both_sides_keys(self, session, local):
+        left = from_frame(local, session)
+        dim = from_frame(pf.DataFrame({"a": [0, 1], "e": [1.0, 2.0]}),
+                         session)
+        result = left.merge(dim, on="a")[["b", "e"]]
+        graph = build_tileable_graph([result.data])
+        prune_columns(graph, [result.data])
+        assert "a" in (source_pruned_columns(result) or ["a"])
+
+
+class TestSourceInvalidation:
+    def test_later_query_needing_more_columns_retiles(self, session, local,
+                                                      tmp_path):
+        path = tmp_path / "t.rpq"
+        local.to_parquet(path)
+        df = read_parquet(path, session=session)
+        # query 1 prunes the scan down to column b
+        df[["b"]].fetch()
+        first_chunks = [c.key for c in df.data.chunks]
+        # query 2 needs column c: the cached tiling is unusable
+        out = df[["c"]].fetch()
+        assert out.columns.to_list() == ["c"]
+        assert out["c"].to_list() == local["c"].to_list()
+
+    def test_subset_query_reuses_tiling(self, session, local, tmp_path):
+        path = tmp_path / "t.rpq"
+        local.to_parquet(path)
+        df = read_parquet(path, session=session)
+        df[["b", "c"]].fetch()
+        chunks_before = [c.key for c in df.data.chunks]
+        df[["b"]].fetch()  # subset of what is already read
+        assert [c.key for c in df.data.chunks] == chunks_before
+
+    def test_full_frame_after_pruned_query(self, session, local, tmp_path):
+        path = tmp_path / "t.rpq"
+        local.to_parquet(path)
+        df = read_parquet(path, session=session)
+        df[["b"]].fetch()
+        full = df.fetch()
+        assert full.columns.to_list() == local.columns.to_list()
+        assert full["d"].to_list() == local["d"].to_list()
+
+    def test_pruning_disabled_reads_everything(self, local, tmp_path):
+        cfg = Config()
+        cfg.column_pruning = False
+        session = Session(cfg)
+        path = tmp_path / "t.rpq"
+        local.to_parquet(path)
+        df = read_parquet(path, session=session)
+        df[["b"]].fetch()
+        assert source_pruned_columns(df) is None
+        session.close()

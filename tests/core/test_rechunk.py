@@ -1,0 +1,89 @@
+"""Unit tests for Algorithm 1 (auto rechunk)."""
+
+import pytest
+
+from repro.core import auto_rechunk, balanced_splits, rechunk_to_splits
+from repro.errors import TilingError
+
+MiB = 1024 * 1024
+
+
+class TestPaperExample:
+    def test_qr_tall_and_skinny_layout(self):
+        """Section V-D worked example: shape (10000, 10000),
+        dim_to_size={1: 10000}, 128 MiB limit ⇒ chunks of
+        (1677, 10000) ... (1615, 10000)."""
+        result = auto_rechunk((10000, 10000), {1: 10000}, 8, 128 * MiB)
+        assert result[1] == [10000]
+        assert result[0][:-1] == [1677] * 5
+        assert result[0][-1] == 1615
+        assert sum(result[0]) == 10000
+
+
+class TestAutoRechunk:
+    def test_unconstrained_square(self):
+        result = auto_rechunk((100, 100), {}, 8, 80 * 100)
+        # each chunk ~ sqrt(1000) per dim
+        assert sum(result[0]) == 100
+        assert sum(result[1]) == 100
+        for extents in result.values():
+            assert all(e >= 1 for e in extents)
+
+    def test_every_chunk_respects_limit(self):
+        limit = 4096
+        result = auto_rechunk((500, 300), {}, 8, limit)
+        max_chunk = max(result[0]) * max(result[1]) * 8
+        # the heuristic may slightly overshoot only via the min extent 1
+        assert max_chunk <= limit * 2
+
+    def test_constrained_dim_repeated(self):
+        result = auto_rechunk((10, 100), {0: 4}, 8, 10_000)
+        assert result[0] == [4, 4, 2]
+
+    def test_1d(self):
+        result = auto_rechunk((1000,), {}, 8, 800)
+        assert result[0] == [100] * 10
+
+    def test_tiny_limit_gives_unit_chunks(self):
+        result = auto_rechunk((5, 5), {1: 5}, 8, 1)
+        assert result[0] == [1] * 5
+
+    def test_zero_length_dimension(self):
+        result = auto_rechunk((0,), {}, 8, 100)
+        assert result[0] == []
+
+    def test_invalid_constraint_rejected(self):
+        with pytest.raises(TilingError):
+            auto_rechunk((10,), {0: 20}, 8, 100)
+        with pytest.raises(TilingError):
+            auto_rechunk((10,), {3: 2}, 8, 100)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(TilingError):
+            auto_rechunk((10,), {}, 0, 100)
+        with pytest.raises(TilingError):
+            auto_rechunk((10,), {}, 8, 0)
+
+    def test_nsplits_packaging(self):
+        nsplits = rechunk_to_splits((10, 4), {1: 4}, 8, 64)
+        assert nsplits[1] == (4,)
+        assert sum(nsplits[0]) == 10
+
+
+class TestBalancedSplits:
+    def test_even_pieces(self):
+        assert balanced_splits(100, 250, 10) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        splits = balanced_splits(10, 30, 10)
+        assert splits == [3, 3, 2, 2]
+
+    def test_single_chunk_when_small(self):
+        assert balanced_splits(5, 1000, 10) == [5]
+
+    def test_max_parts_cap(self):
+        splits = balanced_splits(100, 10, 10, max_parts=3)
+        assert len(splits) == 3 and sum(splits) == 100
+
+    def test_empty(self):
+        assert balanced_splits(0, 10, 10) == []

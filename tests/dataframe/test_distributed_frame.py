@@ -1,0 +1,399 @@
+"""Equivalence tests: the distributed DataFrame must match the single-node
+``repro.frame`` backend on every supported operation."""
+
+import numpy as np
+import pytest
+
+from repro.config import Config
+from repro.core import Session
+from repro import frame as pf
+from repro.dataframe import concat as dconcat, from_frame, read_parquet
+
+
+@pytest.fixture
+def session():
+    cfg = Config()
+    cfg.chunk_store_limit = 4000  # force several chunks on small data
+    cfg.tree_reduce_threshold = 100_000
+    s = Session(cfg)
+    yield s
+    s.close()
+
+
+@pytest.fixture
+def local():
+    rng = np.random.default_rng(7)
+    n = 500
+    return pf.DataFrame({
+        "k": rng.integers(0, 11, n),
+        "cat": np.array([f"c{v}" for v in rng.integers(0, 4, n)], dtype=object),
+        "v": rng.normal(size=n),
+        "w": rng.integers(0, 1000, n).astype(np.float64),
+    })
+
+
+@pytest.fixture
+def dist(session, local):
+    return from_frame(local, session)
+
+
+def frames_equal(dist_result, local_expected, sort_by=None):
+    got = dist_result.fetch() if hasattr(dist_result, "fetch") else dist_result
+    if sort_by is not None:
+        got = got.sort_values(sort_by).reset_index(drop=True)
+        local_expected = local_expected.sort_values(sort_by).reset_index(drop=True)
+    assert got.columns.to_list() == local_expected.columns.to_list()
+    for col in got.columns.to_list():
+        gv, ev = got[col], local_expected[col]
+        assert len(gv) == len(ev), f"length mismatch in {col}"
+        if gv.dtype.kind == "f" or ev.dtype.kind == "f":
+            np.testing.assert_allclose(
+                np.asarray(gv.values, dtype=np.float64),
+                np.asarray(ev.values, dtype=np.float64),
+                err_msg=f"column {col}",
+            )
+        else:
+            assert gv.to_list() == ev.to_list(), f"column {col}"
+
+
+class TestProjectionArithmetic:
+    def test_single_column(self, dist, local):
+        out = dist["v"].fetch()
+        assert out.equals(local["v"])
+
+    def test_column_list(self, dist, local):
+        frames_equal(dist[["v", "k"]], local[["v", "k"]])
+
+    def test_chunked_more_than_once(self, dist):
+        dist.execute()
+        assert len(dist.data.chunks) > 1  # the fixture really distributes
+
+    def test_arithmetic_chain(self, dist, local):
+        out = ((dist["v"] * 2 + 1) / 3).fetch()
+        expected = (local["v"] * 2 + 1) / 3
+        np.testing.assert_allclose(out.values, expected.values)
+
+    def test_series_series_ops(self, dist, local):
+        out = (dist["v"] + dist["w"]).fetch()
+        np.testing.assert_allclose(out.values, (local["v"] + local["w"]).values)
+
+    def test_comparisons_and_logic(self, dist, local):
+        mask = ((dist["v"] > 0) & (dist["w"] < 500)).fetch()
+        expected = (local["v"] > 0) & (local["w"] < 500)
+        assert mask.to_list() == expected.to_list()
+
+    def test_setitem_rebinds(self, dist, local):
+        dist["z"] = dist["v"] * 10
+        expected = local.copy()
+        expected["z"] = expected["v"] * 10
+        frames_equal(dist, expected)
+
+    def test_assign(self, dist, local):
+        out = dist.assign(z=lambda d: d["w"] - 1)
+        expected = local.assign(z=lambda d: d["w"] - 1)
+        frames_equal(out, expected)
+
+    def test_str_accessor(self, dist, local):
+        out = dist["cat"].str.upper().fetch()
+        assert out.to_list() == local["cat"].str.upper().to_list()
+
+    def test_map_and_isin(self, dist, local):
+        out = dist["k"].isin([1, 2, 3]).fetch()
+        assert out.to_list() == local["k"].isin([1, 2, 3]).to_list()
+
+    def test_fillna_astype(self, session):
+        local = pf.DataFrame({"a": [1.0, np.nan, 3.0] * 50})
+        dist = from_frame(local, session)
+        out = dist["a"].fillna(0.0).astype(np.int64).fetch()
+        assert out.to_list() == local["a"].fillna(0.0).astype(np.int64).to_list()
+
+
+class TestFilterIloc:
+    def test_filter(self, dist, local):
+        frames_equal(dist[dist["v"] > 0.5], local[local["v"] > 0.5])
+
+    def test_filter_then_filter(self, dist, local):
+        step1 = dist[dist["v"] > 0]
+        out = step1[step1["w"] > 300]
+        expected = local[local["v"] > 0]
+        expected = expected[expected["w"] > 300]
+        frames_equal(out, expected)
+
+    def test_iloc_scalar_row_after_filter(self, dist, local):
+        filtered = dist[dist["v"] > 0]
+        row = filtered.iloc[10].fetch()
+        expected = local[local["v"] > 0].iloc[10]
+        assert row.to_list() == expected.to_list()
+
+    def test_iloc_slice(self, dist, local):
+        frames_equal(dist.iloc[13:101], local.iloc[13:101])
+
+    def test_head(self, dist, local):
+        frames_equal(dist.head(7), local.head(7))
+
+    def test_series_iloc_scalar(self, dist, local):
+        assert dist["v"].iloc[42] == local["v"].iloc[42]
+
+    def test_empty_filter_result(self, dist, local):
+        out = dist[dist["v"] > 99.0].fetch()
+        assert len(out) == 0
+
+
+class TestGroupBy:
+    def test_agg_dict(self, dist, local):
+        out = dist.groupby("k").agg({"v": "sum", "w": "max"})
+        expected = local.groupby("k").agg({"v": "sum", "w": "max"})
+        got = out.fetch().sort_index()
+        np.testing.assert_allclose(
+            np.asarray(got["v"].values, float),
+            np.asarray(expected["v"].values, float))
+        np.testing.assert_allclose(
+            np.asarray(got["w"].values, float),
+            np.asarray(expected["w"].values, float))
+
+    @pytest.mark.parametrize("how", [
+        "sum", "mean", "min", "max", "count", "size", "var", "std",
+        "nunique", "median", "first", "last",
+    ])
+    def test_every_aggregation(self, dist, local, how):
+        out = dist.groupby("k").agg({"v": how}).fetch().sort_index()
+        expected = local.groupby("k").agg({"v": how})
+        np.testing.assert_allclose(
+            np.asarray(out["v"].values, dtype=np.float64),
+            np.asarray(expected["v"].values, dtype=np.float64),
+            err_msg=how,
+        )
+
+    def test_named_agg(self, dist, local):
+        out = dist.groupby("cat").agg(
+            total=("v", "sum"), biggest=("w", "max")
+        ).fetch().sort_index()
+        expected = local.groupby("cat").agg(
+            total=("v", "sum"), biggest=("w", "max")
+        )
+        np.testing.assert_allclose(
+            np.asarray(out["total"].values, float),
+            np.asarray(expected["total"].values, float))
+
+    def test_as_index_false(self, dist, local):
+        out = dist.groupby("k", as_index=False).agg({"v": "sum"})
+        expected = local.groupby("k", as_index=False).agg({"v": "sum"})
+        frames_equal(out, expected, sort_by="k")
+
+    def test_multi_key(self, dist, local):
+        out = dist.groupby(["k", "cat"], as_index=False).agg({"v": "sum"})
+        expected = local.groupby(["k", "cat"], as_index=False).agg({"v": "sum"})
+        frames_equal(out, expected, sort_by=["k", "cat"])
+
+    def test_column_selection_sum(self, dist, local):
+        out = dist.groupby("k")["v"].sum().fetch().sort_index()
+        expected = local.groupby("k")["v"].sum()
+        np.testing.assert_allclose(
+            np.asarray(out.values, float), np.asarray(expected.values, float)
+        )
+
+    def test_size(self, dist, local):
+        out = dist.groupby("k").size().fetch().sort_index()
+        expected = local.groupby("k").size()
+        assert np.asarray(out.values, int).tolist() == expected.to_list()
+
+    def test_groupby_after_filter_uses_dynamic_tiling(self, session, local):
+        dist = from_frame(local, session)
+        filtered = dist[dist["v"] > 0]
+        out = filtered.groupby("k").agg({"w": "mean"}).fetch().sort_index()
+        lf = local[local["v"] > 0]
+        expected = lf.groupby("k").agg({"w": "mean"})
+        np.testing.assert_allclose(
+            np.asarray(out["w"].values, float),
+            np.asarray(expected["w"].values, float))
+        assert session.tiler.yield_count >= 1
+
+    def test_shuffle_reduce_path(self, local):
+        """Low threshold forces shuffle-reduce; results must not change."""
+        cfg = Config()
+        cfg.chunk_store_limit = 4000
+        cfg.tree_reduce_threshold = 1  # always shuffle
+        s = Session(cfg)
+        dist = from_frame(local, s)
+        out = dist.groupby("k").agg({"v": "sum"}).fetch().sort_index()
+        expected = local.groupby("k").agg({"v": "sum"})
+        np.testing.assert_allclose(
+            np.asarray(out["v"].values, float),
+            np.asarray(expected["v"].values, float))
+        assert s.last_report.shuffle_bytes > 0
+        s.close()
+
+
+class TestMerge:
+    def test_broadcast_inner(self, session, local):
+        dist = from_frame(local, session)
+        dim = pf.DataFrame({"k": list(range(11)),
+                            "label": [f"L{i}" for i in range(11)]})
+        out = dist.merge(from_frame(dim, session), on="k")
+        expected = local.merge(dim, on="k")
+        frames_equal(out, expected, sort_by=["k", "v"])
+
+    def test_left_join_with_missing(self, session, local):
+        dist = from_frame(local, session)
+        dim = pf.DataFrame({"k": [0, 1, 2], "label": ["a", "b", "c"]})
+        out = dist.merge(from_frame(dim, session), on="k", how="left")
+        expected = local.merge(dim, on="k", how="left")
+        got = out.fetch().sort_values(["k", "v"]).reset_index(drop=True)
+        expected = expected.sort_values(["k", "v"]).reset_index(drop=True)
+        assert len(got) == len(expected)
+        assert got["label"].isna().values.sum() == expected["label"].isna().values.sum()
+
+    def test_shuffle_join_big_big(self, local):
+        cfg = Config()
+        cfg.chunk_store_limit = 4000
+        s = Session(cfg)
+        # make both sides "large" by lowering the broadcast threshold
+        s.config.chunk_store_limit = 2000
+        left = from_frame(local, s)
+        right_local = local.rename(columns={"v": "v2", "w": "w2",
+                                            "cat": "cat2"})
+        right = from_frame(right_local, s)
+        out = left.merge(right, on="k")
+        expected = local.merge(right_local, on="k")
+        assert len(out.fetch()) == len(expected)
+        s.close()
+
+    def test_left_on_right_on(self, session, local):
+        dist = from_frame(local, session)
+        dim = pf.DataFrame({"code": [0, 1, 2, 3], "name": list("abcd")})
+        out = dist.merge(from_frame(dim, session), left_on="k",
+                         right_on="code")
+        expected = local.merge(dim, left_on="k", right_on="code")
+        assert len(out.fetch()) == len(expected)
+
+    def test_merge_column_metadata(self, session, local):
+        dist = from_frame(local, session)
+        dim = pf.DataFrame({"k": [1], "v": [9.0]})
+        out = dist.merge(from_frame(dim, session), on="k")
+        assert out.columns == ["k", "cat", "v_x", "w", "v_y"]
+
+
+class TestSortDedupConcat:
+    def test_sort_single_key(self, dist, local):
+        out = dist.sort_values("v").fetch()
+        expected = local.sort_values("v")
+        np.testing.assert_allclose(
+            np.asarray(out["v"].values, float),
+            np.asarray(expected["v"].values, float))
+
+    def test_sort_descending(self, dist, local):
+        out = dist.sort_values("w", ascending=False).fetch()
+        expected = local.sort_values("w", ascending=False)
+        np.testing.assert_allclose(
+            np.asarray(out["w"].values, float),
+            np.asarray(expected["w"].values, float))
+
+    def test_sort_multi_key(self, dist, local):
+        out = dist.sort_values(["k", "v"]).fetch()
+        expected = local.sort_values(["k", "v"])
+        np.testing.assert_allclose(
+            np.asarray(out["v"].values, float),
+            np.asarray(expected["v"].values, float))
+
+    def test_nlargest(self, dist, local):
+        out = dist.nlargest(5, "v").fetch()
+        expected = local.nlargest(5, "v")
+        np.testing.assert_allclose(
+            np.asarray(out["v"].values, float),
+            np.asarray(expected["v"].values, float))
+
+    def test_drop_duplicates(self, session):
+        local = pf.DataFrame({"a": [1, 2, 1, 3] * 50, "b": [1, 2, 1, 4] * 50})
+        dist = from_frame(local, session)
+        out = dist.drop_duplicates().fetch()
+        expected = local.drop_duplicates()
+        assert len(out) == len(expected)
+        frames_equal(out.sort_values(["a", "b"]).reset_index(drop=True),
+                     expected.sort_values(["a", "b"]).reset_index(drop=True))
+
+    def test_concat(self, session, local):
+        a = from_frame(local.head(100), session)
+        b = from_frame(local.tail(100), session)
+        out = dconcat([a, b]).fetch()
+        assert len(out) == 200
+
+    def test_value_counts(self, dist, local):
+        out = dist["cat"].value_counts().fetch()
+        expected = local["cat"].value_counts()
+        assert np.asarray(out.values, int).tolist() == expected.to_list()
+
+
+class TestReductions:
+    @pytest.mark.parametrize("how", [
+        "sum", "mean", "min", "max", "count", "nunique", "var", "std",
+        "median", "prod",
+    ])
+    def test_series_reductions(self, dist, local, how):
+        got = float(getattr(dist["v"], how)())
+        expected = float(getattr(local["v"], how)())
+        assert got == pytest.approx(expected, rel=1e-9), how
+
+    def test_dataframe_sum(self, dist, local):
+        out = dist[["v", "w"]].sum().fetch()
+        expected = local[["v", "w"]].sum()
+        np.testing.assert_allclose(
+            np.asarray(out.values, float), np.asarray(expected.values, float)
+        )
+
+    def test_any_all(self, session):
+        local = pf.DataFrame({"b": [True, False] * 50})
+        dist = from_frame(local, session)
+        assert bool(dist["b"].any()) is True
+        assert bool(dist["b"].all()) is False
+
+    def test_describe(self, dist, local):
+        out = dist.describe().fetch()
+        expected = local.describe()
+        np.testing.assert_allclose(
+            np.asarray(out["v"].values, float),
+            np.asarray(expected["v"].values, float))
+
+    def test_unique(self, dist, local):
+        got = sorted(dist["k"].unique().tolist())
+        expected = sorted(set(local["k"].to_list()))
+        assert got == expected
+
+
+class TestIO:
+    def test_read_parquet_distributed(self, session, local, tmp_path):
+        path = tmp_path / "data.rpq"
+        local.to_parquet(path)
+        dist = read_parquet(path, session=session)
+        assert dist.columns == local.columns.to_list()
+        frames_equal(dist, local)
+
+    def test_read_parquet_many_chunks(self, session, local, tmp_path):
+        path = tmp_path / "data.rpq"
+        local.to_parquet(path)
+        dist = read_parquet(path, session=session).execute()
+        assert len(dist.data.chunks) > 1
+
+    def test_column_pruning_reaches_datasource(self, session, local, tmp_path):
+        path = tmp_path / "data.rpq"
+        local.to_parquet(path)
+        dist = read_parquet(path, session=session)
+        out = dist[["v"]].fetch()
+        # the read op only materialized the pruned column set
+        read_chunk = dist.data.chunks if dist.data.is_tiled else []
+        assert out.columns.to_list() == ["v"]
+
+
+class TestDeferredEvaluation:
+    def test_repr_triggers_execution(self, session, local):
+        dist = from_frame(local, session)
+        text = repr(dist[["k", "v"]])
+        assert "k" in text and "v" in text
+        assert session.executor.report.n_subtasks > 0
+
+    def test_len_triggers_execution(self, session, local):
+        dist = from_frame(local, session)
+        filtered = dist[dist["v"] > 0]
+        assert len(filtered) == len(local[local["v"] > 0])
+
+    def test_shape_property(self, dist, local):
+        assert dist.shape == local.shape

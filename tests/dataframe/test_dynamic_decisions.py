@@ -1,0 +1,205 @@
+"""Tests of the dynamic-tiling *decisions* (Section IV-C): which reduce
+algorithm, which join strategy, whether small chunks get merged, and how
+balanced the sampled range partitions come out."""
+
+import numpy as np
+import pytest
+
+from repro.config import Config
+from repro.core import Session
+from repro.dataframe import from_frame
+from repro.dataframe.groupby import GroupByAgg, GroupByPartition
+from repro.dataframe.merge import MergeChunk, MergePartition
+from repro.dataframe.sort import SortPartition
+from repro.dataframe.utils import spread_sample
+from repro.graph.entity import ChunkData
+from repro import frame as pf
+
+
+def make_session(chunk_limit=8_000, tree_threshold=None, **overrides):
+    cfg = Config()
+    cfg.chunk_store_limit = chunk_limit
+    cfg.tree_reduce_threshold = (
+        tree_threshold if tree_threshold is not None else chunk_limit // 2
+    )
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return Session(cfg)
+
+
+def big_frame(n=6_000, n_groups=2_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return pf.DataFrame({
+        "k": rng.integers(0, n_groups, n),
+        "v": rng.normal(size=n),
+    })
+
+
+def ops_used(tileable) -> set:
+    """Operator class names reachable from a tiled tileable's chunks."""
+    seen: set = set()
+    names: set = set()
+    stack = list(tileable.chunks)
+    while stack:
+        chunk = stack.pop()
+        if chunk.key in seen:
+            continue
+        seen.add(chunk.key)
+        if chunk.op is not None:
+            names.add(type(chunk.op).__name__)
+            stack.extend(chunk.op.inputs)
+    return names
+
+
+class TestAutoReduceSelection:
+    def test_small_aggregate_uses_tree(self):
+        session = make_session(tree_threshold=10 ** 9)  # everything "small"
+        local = big_frame(n_groups=5)
+        out = from_frame(local, session).groupby("k").agg({"v": "sum"})
+        out.execute()
+        assert "GroupByPartition" not in ops_used(out.data)
+        assert len(out.data.chunks) == 1  # tree funnels to one reduce node
+        session.close()
+
+    def test_large_aggregate_uses_shuffle(self):
+        session = make_session(tree_threshold=1)  # everything "large"
+        local = big_frame()
+        out = from_frame(local, session).groupby("k").agg({"v": "sum"})
+        out.execute()
+        assert "GroupByPartition" in ops_used(out.data)
+        assert len(out.data.chunks) > 1
+        session.close()
+
+    def test_both_paths_agree(self):
+        local = big_frame(seed=1)
+        results = []
+        for threshold in (1, 10 ** 9):
+            session = make_session(tree_threshold=threshold)
+            out = from_frame(local, session).groupby("k").agg({"v": "sum"})
+            results.append(out.fetch().sort_index())
+            session.close()
+        np.testing.assert_allclose(
+            np.asarray(results[0]["v"].values, float),
+            np.asarray(results[1]["v"].values, float),
+        )
+
+    def test_static_fallback_is_tree(self):
+        session = make_session(tree_threshold=1, dynamic_tiling=False)
+        local = big_frame(seed=2)
+        out = from_frame(local, session).groupby("k").agg({"v": "sum"})
+        out.execute()
+        assert "GroupByPartition" not in ops_used(out.data)
+        session.close()
+
+
+class TestJoinStrategySelection:
+    def test_small_side_broadcast(self):
+        session = make_session(chunk_limit=8_000)
+        big = big_frame()
+        dim = pf.DataFrame({"k": np.arange(2_000, dtype=np.int64),
+                            "label": np.arange(2_000, dtype=np.int64)})
+        # dim is larger than a chunk? keep it tiny to force broadcast
+        dim_small = dim.head(50)
+        out = from_frame(big, session).merge(
+            from_frame(dim_small, session), on="k"
+        )
+        out.execute()
+        assert "MergePartition" not in ops_used(out.data)
+        session.close()
+
+    def test_two_big_sides_shuffle(self):
+        session = make_session(chunk_limit=4_000)
+        a = big_frame(seed=3)
+        b = big_frame(seed=4).rename(columns={"v": "v2"})
+        out = from_frame(a, session).merge(from_frame(b, session), on="k")
+        out.execute()
+        assert "MergePartition" in ops_used(out.data)
+        session.close()
+
+    def test_shuffle_reducers_balanced(self):
+        """The monotonic-key trap: orderly keys must still spread evenly."""
+        session = make_session(chunk_limit=4_000)
+        n = 8_000
+        a = pf.DataFrame({"k": np.arange(n), "v": np.ones(n)})
+        b = pf.DataFrame({"k": np.arange(n), "w": np.ones(n)})
+        out = from_frame(a, session).merge(from_frame(b, session), on="k")
+        out.execute()
+        sizes = [
+            session.meta.get(c.key).shape[0]
+            for c in out.data.chunks if session.meta.get(c.key)
+        ]
+        assert len(sizes) > 2
+        assert max(sizes) < 0.5 * sum(sizes), f"skewed reducers: {sizes}"
+        session.close()
+
+
+class TestAutoMerge:
+    def test_small_chunks_merged_before_shuffle(self):
+        with_merge = make_session(tree_threshold=1)
+        without = make_session(tree_threshold=1, auto_merge=False)
+        local = big_frame(seed=5)
+        n_nodes = {}
+        for name, session in (("on", with_merge), ("off", without)):
+            out = from_frame(local, session).groupby("k").agg({"v": "sum"})
+            out.fetch()
+            n_nodes[name] = session.executor.report.n_graph_nodes
+            session.close()
+        assert n_nodes["on"] <= n_nodes["off"]
+
+    def test_results_unchanged(self):
+        local = big_frame(seed=6)
+        results = []
+        for auto in (True, False):
+            session = make_session(tree_threshold=1, auto_merge=auto)
+            out = from_frame(local, session).groupby("k").agg({"v": "sum"})
+            results.append(out.fetch().sort_index())
+            session.close()
+        np.testing.assert_allclose(
+            np.asarray(results[0]["v"].values, float),
+            np.asarray(results[1]["v"].values, float),
+        )
+
+
+class TestSpreadSample:
+    def _chunks(self, n):
+        return [ChunkData("dataframe", (1, 1), (i, 0)) for i in range(n)]
+
+    def test_returns_all_when_few(self):
+        chunks = self._chunks(2)
+        assert spread_sample(chunks, 5) == chunks
+
+    def test_covers_first_and_last(self):
+        chunks = self._chunks(20)
+        picked = spread_sample(chunks, 3)
+        assert picked[0] is chunks[0]
+        assert picked[-1] is chunks[-1]
+        assert len(picked) == 3
+
+    def test_spread_not_prefix(self):
+        chunks = self._chunks(100)
+        picked = spread_sample(chunks, 4)
+        indices = [c.index[0] for c in picked]
+        assert max(indices) - min(indices) > 50
+
+    def test_no_duplicates(self):
+        chunks = self._chunks(7)
+        picked = spread_sample(chunks, 5)
+        assert len({id(c) for c in picked}) == len(picked)
+
+
+class TestSortPartitionBalance:
+    def test_monotonic_sort_key_balanced(self):
+        session = make_session(chunk_limit=4_000)
+        n = 8_000
+        local = pf.DataFrame({"k": np.arange(n, dtype=np.float64),
+                              "v": np.ones(n)})
+        out = from_frame(local, session).sort_values("k")
+        result = out.fetch()
+        assert result["k"].to_list() == sorted(result["k"].to_list())
+        sizes = [
+            session.meta.get(c.key).shape[0]
+            for c in out.data.chunks if session.meta.get(c.key)
+        ]
+        if len(sizes) > 2:
+            assert max(sizes) < 0.5 * sum(sizes)
+        session.close()

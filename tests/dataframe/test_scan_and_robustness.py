@@ -1,0 +1,146 @@
+"""Tests for distributed cumulative scans and engine failure robustness."""
+
+import numpy as np
+import pytest
+
+from repro.config import Config
+from repro.core import Session
+from repro.dataframe import from_frame
+from repro.errors import WorkerOutOfMemory
+from repro import frame as pf
+
+
+@pytest.fixture
+def session():
+    cfg = Config()
+    cfg.chunk_store_limit = 3_000
+    s = Session(cfg)
+    yield s
+    s.close()
+
+
+@pytest.fixture
+def local():
+    rng = np.random.default_rng(3)
+    return pf.DataFrame({"v": rng.normal(size=600),
+                         "w": rng.integers(0, 50, 600).astype(np.float64)})
+
+
+class TestCumulativeScans:
+    def test_cumsum_matches_local(self, session, local):
+        dist = from_frame(local, session)
+        np.testing.assert_allclose(
+            dist["v"].cumsum().fetch().values, local["v"].cumsum().values
+        )
+
+    def test_cummax_cummin(self, session, local):
+        dist = from_frame(local, session)
+        np.testing.assert_allclose(
+            dist["v"].cummax().fetch().values, local["v"].cummax().values
+        )
+        np.testing.assert_allclose(
+            dist["v"].cummin().fetch().values, local["v"].cummin().values
+        )
+
+    def test_scan_crosses_many_chunks(self, session, local):
+        dist = from_frame(local, session)
+        out = dist["v"].cumsum()
+        out.execute()
+        assert len(dist.data.chunks) >= 2  # genuinely distributed
+        # last element equals the global sum
+        assert out.fetch().values[-1] == pytest.approx(local["v"].sum())
+
+    def test_single_chunk_path(self, session):
+        small = pf.DataFrame({"v": [1.0, 2.0, 3.0]})
+        dist = from_frame(small, session)
+        assert dist["v"].cumsum().fetch().to_list() == [1.0, 3.0, 6.0]
+
+    def test_scan_after_filter(self, session, local):
+        dist = from_frame(local, session)
+        filtered = dist[dist["w"] > 25.0]
+        got = filtered["v"].cumsum().fetch()
+        expected = local[local["w"] > 25.0]["v"].cumsum()
+        np.testing.assert_allclose(got.values, expected.values)
+
+    def test_quantile(self, session, local):
+        dist = from_frame(local, session)
+        for q in (0.1, 0.5, 0.9):
+            assert float(dist["v"].quantile(q)) == pytest.approx(
+                local["v"].quantile(q)
+            )
+
+    def test_series_describe(self, session, local):
+        out = from_frame(local, session)["v"].describe().fetch()
+        assert out.index.to_list() == [
+            "count", "mean", "std", "min", "25%", "50%", "75%", "max",
+        ]
+        assert out.values[0] == 600.0
+
+
+class TestFailureRobustness:
+    def _tight_session(self):
+        cfg = Config()
+        cfg.chunk_store_limit = 8_000
+        cfg.cluster.memory_limit = 40_000
+        cfg.spill_to_disk = False
+        return Session(cfg)
+
+    def test_oom_propagates_cleanly(self):
+        session = self._tight_session()
+        big = pf.DataFrame({"v": np.random.default_rng(0).normal(size=50_000)})
+        dist = from_frame(big, session)
+        with pytest.raises(WorkerOutOfMemory):
+            dist.sort_values("v").fetch()
+        session.close()
+
+    def test_session_usable_after_oom(self):
+        """An OOM must not corrupt the session: later small queries work."""
+        session = self._tight_session()
+        big = pf.DataFrame({"v": np.random.default_rng(1).normal(size=50_000)})
+        with pytest.raises(WorkerOutOfMemory):
+            from_frame(big, session).sort_values("v").fetch()
+        small = pf.DataFrame({"v": [3.0, 1.0, 2.0]})
+        out = from_frame(small, session).sort_values("v").fetch()
+        assert out["v"].to_list() == [1.0, 2.0, 3.0]
+        session.close()
+
+    def test_memory_accounting_consistent_after_oom(self):
+        session = self._tight_session()
+        big = pf.DataFrame({"v": np.random.default_rng(2).normal(size=50_000)})
+        with pytest.raises(WorkerOutOfMemory):
+            from_frame(big, session).sort_values("v").fetch()
+        for name, tracker in session.cluster.memory.items():
+            assert 0 <= tracker.used <= tracker.limit, name
+        session.close()
+
+    def test_spill_rescues_same_workload(self):
+        """At a limit where failure is storage *accumulation* (not one
+        oversized working set), spilling turns OOM into completion."""
+
+        def run(spill: bool):
+            cfg = Config()
+            cfg.chunk_store_limit = 8_000
+            cfg.cluster.memory_limit = 300_000
+            cfg.spill_to_disk = spill
+            session = Session(cfg)
+            big = pf.DataFrame(
+                {"v": np.random.default_rng(3).normal(size=50_000)}
+            )
+            try:
+                out = from_frame(big, session).sort_values("v").fetch()
+                return out, session.storage.total_spilled_bytes
+            finally:
+                session.close()
+
+        with pytest.raises(WorkerOutOfMemory):
+            run(spill=False)
+        out, spilled = run(spill=True)
+        assert len(out) == 50_000
+        assert spilled > 0
+
+    def test_user_error_does_not_wedge_session(self, session, local):
+        dist = from_frame(local, session)
+        with pytest.raises(Exception):
+            dist.groupby("nonexistent_column").agg({"v": "sum"}).fetch()
+        # the session still answers
+        assert float(dist["v"].count()) == 600.0

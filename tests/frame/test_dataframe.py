@@ -1,0 +1,292 @@
+"""Unit tests for repro.frame.DataFrame."""
+
+import numpy as np
+import pytest
+
+from repro import frame as pf
+
+
+@pytest.fixture
+def df():
+    return pf.DataFrame(
+        {
+            "a": [1, 2, 1, 3, 2],
+            "b": [10.0, 20.0, 30.0, 40.0, 50.0],
+            "c": ["x", "y", "x", "z", "y"],
+        }
+    )
+
+
+class TestConstruction:
+    def test_shape_and_columns(self, df):
+        assert df.shape == (5, 3)
+        assert df.columns.to_list() == ["a", "b", "c"]
+
+    def test_from_records(self):
+        df = pf.DataFrame([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert df.shape == (2, 2)
+        assert df["a"].to_list() == [1, 2]
+
+    def test_from_2d_array(self):
+        df = pf.DataFrame(np.arange(6).reshape(3, 2), columns=["p", "q"])
+        assert df["q"].to_list() == [1, 3, 5]
+
+    def test_scalar_broadcast(self):
+        df = pf.DataFrame({"a": [1, 2], "b": 9})
+        assert df["b"].to_list() == [9, 9]
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pf.DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_empty(self):
+        df = pf.DataFrame({})
+        assert df.empty and len(df) == 0
+
+    def test_column_reorder(self):
+        df = pf.DataFrame({"a": [1], "b": [2]}, columns=["b", "a"])
+        assert df.columns.to_list() == ["b", "a"]
+
+
+class TestSelection:
+    def test_getitem_column(self, df):
+        s = df["b"]
+        assert isinstance(s, pf.Series) and s.name == "b"
+
+    def test_getitem_missing_raises(self, df):
+        with pytest.raises(KeyError):
+            df["nope"]
+
+    def test_getitem_list(self, df):
+        sub = df[["c", "a"]]
+        assert sub.columns.to_list() == ["c", "a"]
+
+    def test_boolean_filter(self, df):
+        out = df[df["a"] == 2]
+        assert out["b"].to_list() == [20.0, 50.0]
+        assert out.index.to_list() == [1, 4]
+
+    def test_iloc_row(self, df):
+        row = df.iloc[3]
+        assert row["a"] == 3 and row["c"] == "z"
+
+    def test_iloc_negative_row(self, df):
+        assert df.iloc[-1]["b"] == 50.0
+
+    def test_iloc_slice(self, df):
+        assert len(df.iloc[1:3]) == 2
+
+    def test_iloc_rows_cols(self, df):
+        sub = df.iloc[[0, 1], [0, 2]]
+        assert sub.columns.to_list() == ["a", "c"]
+
+    def test_iloc_scalar_cell(self, df):
+        assert df.iloc[0, 1] == 10.0
+
+    def test_iloc_out_of_bounds(self, df):
+        with pytest.raises(IndexError):
+            df.iloc[99]
+
+    def test_loc_label_rows(self, df):
+        filtered = df[df["a"] == 1]
+        assert filtered.loc[2, "b"] == 30.0
+
+    def test_loc_mask_and_column(self, df):
+        out = df.loc[df["a"] == 1, "b"]
+        assert out.to_list() == [10.0, 30.0]
+
+    def test_loc_setitem(self, df):
+        df.loc[df["a"] == 1, "b"] = 0.0
+        assert df["b"].to_list() == [0.0, 20.0, 0.0, 40.0, 50.0]
+
+    def test_loc_setitem_promotes_dtype(self, df):
+        df.loc[df["a"] == 1, "a"] = 1.5
+        assert df["a"].dtype == np.float64
+
+    def test_head_tail(self, df):
+        assert len(df.head(2)) == 2
+        assert df.tail(1)["c"].to_list() == ["y"]
+
+    def test_select_dtypes(self, df):
+        assert df.select_dtypes("number").columns.to_list() == ["a", "b"]
+        assert df.select_dtypes("object").columns.to_list() == ["c"]
+
+
+class TestMutation:
+    def test_setitem_scalar(self, df):
+        df["d"] = 1
+        assert df["d"].to_list() == [1] * 5
+
+    def test_setitem_series(self, df):
+        df["d"] = df["a"] * 10
+        assert df["d"].to_list() == [10, 20, 10, 30, 20]
+
+    def test_setitem_length_mismatch(self, df):
+        with pytest.raises(ValueError):
+            df["d"] = [1, 2]
+
+    def test_assign(self, df):
+        out = df.assign(e=lambda d: d["a"] + 1)
+        assert out["e"].to_list() == [2, 3, 2, 4, 3]
+        assert "e" not in df  # original untouched
+
+    def test_rename(self, df):
+        out = df.rename(columns={"a": "alpha"})
+        assert out.columns.to_list() == ["alpha", "b", "c"]
+
+    def test_drop_columns(self, df):
+        assert df.drop(columns=["b"]).columns.to_list() == ["a", "c"]
+        assert df.drop(columns="b").columns.to_list() == ["a", "c"]
+
+    def test_drop_missing_column_raises(self, df):
+        with pytest.raises(KeyError):
+            df.drop(columns=["nope"])
+
+    def test_astype_mapping(self, df):
+        out = df.astype({"a": np.float64})
+        assert out["a"].dtype == np.float64
+        assert out["b"].dtype == np.float64
+
+
+class TestMissing:
+    def test_fillna_frame(self):
+        df = pf.DataFrame({"a": [1.0, np.nan], "b": ["x", None]})
+        out = df.fillna({"a": 0.0, "b": "?"})
+        assert out["a"].to_list() == [1.0, 0.0]
+        assert out["b"].to_list() == ["x", "?"]
+
+    def test_dropna_any(self):
+        df = pf.DataFrame({"a": [1.0, np.nan, 3.0], "b": [1.0, 2.0, np.nan]})
+        assert len(df.dropna()) == 1
+
+    def test_dropna_subset(self):
+        df = pf.DataFrame({"a": [1.0, np.nan], "b": [np.nan, 2.0]})
+        assert len(df.dropna(subset=["a"])) == 1
+
+    def test_dropna_how_all(self):
+        df = pf.DataFrame({"a": [np.nan, 1.0], "b": [np.nan, np.nan]})
+        assert len(df.dropna(how="all")) == 1
+
+    def test_isna_frame(self):
+        df = pf.DataFrame({"a": [1.0, np.nan]})
+        assert df.isna()["a"].to_list() == [False, True]
+
+
+class TestIndexOps:
+    def test_reset_index(self, df):
+        filtered = df[df["a"] == 2]
+        out = filtered.reset_index()
+        assert out["index"].to_list() == [1, 4]
+        assert out.index.to_list() == [0, 1]
+
+    def test_reset_index_drop(self, df):
+        out = df[df["a"] == 2].reset_index(drop=True)
+        assert out.index.to_list() == [0, 1]
+
+    def test_set_index_single(self, df):
+        out = df.set_index("c")
+        assert out.index.name == "c"
+        assert "c" not in out
+
+    def test_set_index_multi_and_reset(self, df):
+        out = df.set_index(["a", "c"]).reset_index()
+        assert out.columns.to_list()[:2] == ["a", "c"]
+
+
+class TestSortDedup:
+    def test_sort_values_single(self, df):
+        assert df.sort_values("b", ascending=False)["b"].to_list() == [
+            50.0, 40.0, 30.0, 20.0, 10.0,
+        ]
+
+    def test_sort_values_multi(self, df):
+        out = df.sort_values(["a", "b"], ascending=[True, False])
+        assert out["b"].to_list() == [30.0, 10.0, 50.0, 20.0, 40.0]
+
+    def test_sort_missing_key_raises(self, df):
+        with pytest.raises(KeyError):
+            df.sort_values("nope")
+
+    def test_drop_duplicates(self):
+        df = pf.DataFrame({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert len(df.drop_duplicates()) == 2
+
+    def test_drop_duplicates_subset(self):
+        df = pf.DataFrame({"a": [1, 1, 2], "b": ["x", "y", "z"]})
+        out = df.drop_duplicates(subset=["a"])
+        assert out["b"].to_list() == ["x", "z"]
+
+    def test_nlargest(self, df):
+        assert df.nlargest(2, "b")["b"].to_list() == [50.0, 40.0]
+
+
+class TestReductions:
+    def test_sum_numeric_only(self, df):
+        s = df.sum()
+        assert s.index.to_list() == ["a", "b"]
+        assert s.loc["a"] == 9
+
+    def test_mean(self, df):
+        assert df.mean().loc["b"] == 30.0
+
+    def test_count(self):
+        df = pf.DataFrame({"a": [1.0, np.nan], "b": ["x", "y"]})
+        assert df.count().to_list() == [1, 2]
+
+    def test_nunique(self, df):
+        assert df.nunique().to_list() == [3, 5, 3]
+
+    def test_describe(self, df):
+        desc = df.describe()
+        assert desc.loc["mean", "b"] == 30.0
+        assert desc.loc["count", "a"] == 5.0
+
+
+class TestApplyIteration:
+    def test_apply_axis0(self, df):
+        out = df[["a", "b"]].apply(lambda s: s.sum())
+        assert out.loc["b"] == 150.0
+
+    def test_apply_axis1(self, df):
+        out = df.apply(lambda row: row["a"] * 2, axis=1)
+        assert out.to_list() == [2, 4, 2, 6, 4]
+
+    def test_itertuples(self, df):
+        rows = list(df.itertuples(index=False))
+        assert rows[0] == (1, 10.0, "x")
+
+    def test_iterrows(self, df):
+        label, row = next(iter(df.iterrows()))
+        assert label == 0 and row["c"] == "x"
+
+
+class TestArithmeticEquality:
+    def test_frame_scalar_arith(self, df):
+        out = df[["a", "b"]] * 2
+        assert out["a"].to_list() == [2, 4, 2, 6, 4]
+
+    def test_frame_frame_arith(self, df):
+        out = df[["a"]] + df[["a"]]
+        assert out["a"].to_list() == [2, 4, 2, 6, 4]
+
+    def test_equals(self, df):
+        assert df.equals(df.copy())
+        assert not df.equals(df.head(2))
+
+    def test_to_dict(self, df):
+        d = df.head(1).to_dict()
+        assert d["c"] == ["x"]
+
+    def test_to_dict_records(self, df):
+        recs = df.head(1).to_dict(orient="records")
+        assert recs[0]["a"] == 1
+
+    def test_values_matrix(self, df):
+        assert df[["a", "b"]].values.shape == (5, 2)
+
+    def test_memory_usage(self, df):
+        assert (df.memory_usage().values > 0).all()
+
+    def test_repr_contains_columns(self, df):
+        text = repr(df)
+        assert "a" in text and "c" in text

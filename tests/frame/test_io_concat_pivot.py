@@ -1,0 +1,206 @@
+"""Unit tests for repro.frame IO, concat, pivot and describe."""
+
+import numpy as np
+import pytest
+
+from repro import frame as pf
+from repro.frame.io import csv_row_count, parquet_metadata
+
+
+@pytest.fixture
+def df():
+    return pf.DataFrame(
+        {
+            "i": [1, 2, 3],
+            "f": [1.5, np.nan, 3.5],
+            "s": ["x", None, "z"],
+        }
+    )
+
+
+class TestCsv:
+    def test_roundtrip(self, df, tmp_path):
+        path = tmp_path / "t.csv"
+        df.to_csv(path)
+        back = pf.read_csv(path)
+        assert back["i"].to_list() == [1, 2, 3]
+        f = back["f"].to_list()
+        assert f[0] == 1.5 and np.isnan(f[1])
+        assert back["s"].to_list() == ["x", None, "z"]
+
+    def test_usecols(self, df, tmp_path):
+        path = tmp_path / "t.csv"
+        df.to_csv(path)
+        back = pf.read_csv(path, usecols=["s", "i"])
+        assert back.columns.to_list() == ["s", "i"]
+
+    def test_usecols_missing_raises(self, df, tmp_path):
+        path = tmp_path / "t.csv"
+        df.to_csv(path)
+        with pytest.raises(KeyError):
+            pf.read_csv(path, usecols=["nope"])
+
+    def test_nrows_skiprows(self, df, tmp_path):
+        path = tmp_path / "t.csv"
+        df.to_csv(path)
+        back = pf.read_csv(path, skiprows=1, nrows=1)
+        assert back["i"].to_list() == [2]
+
+    def test_parse_dates(self, tmp_path):
+        path = tmp_path / "d.csv"
+        pf.DataFrame({"d": ["2020-01-02", "2021-12-31"]}).to_csv(path)
+        back = pf.read_csv(path, parse_dates=["d"])
+        assert back["d"].dtype.kind == "M"
+        assert back["d"].dt.year.to_list() == [2020.0, 2021.0]
+
+    def test_dtype_override(self, df, tmp_path):
+        path = tmp_path / "t.csv"
+        df.to_csv(path)
+        back = pf.read_csv(path, dtype={"i": np.float64})
+        assert back["i"].dtype == np.float64
+
+    def test_row_count(self, df, tmp_path):
+        path = tmp_path / "t.csv"
+        df.to_csv(path)
+        assert csv_row_count(path) == 3
+
+    def test_int_column_with_blanks_becomes_float(self, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("a\n1\n\n3\n")
+        back = pf.read_csv(path)
+        # blank line is skipped entirely; ints stay ints
+        assert back["a"].to_list() == [1, 3]
+
+
+class TestParquet:
+    def test_roundtrip(self, df, tmp_path):
+        path = tmp_path / "t.rpq"
+        df.to_parquet(path)
+        back = pf.read_parquet(path)
+        assert back["i"].to_list() == [1, 2, 3]
+        assert back["s"].to_list() == ["x", None, "z"]
+        f = back["f"].to_list()
+        assert f[0] == 1.5 and np.isnan(f[1])
+
+    def test_column_subset(self, df, tmp_path):
+        path = tmp_path / "t.rpq"
+        df.to_parquet(path)
+        back = pf.read_parquet(path, columns=["s"])
+        assert back.columns.to_list() == ["s"]
+
+    def test_row_range(self, df, tmp_path):
+        path = tmp_path / "t.rpq"
+        df.to_parquet(path)
+        back = pf.read_parquet(path, row_range=(1, 3))
+        assert back["i"].to_list() == [2, 3]
+
+    def test_metadata_only(self, df, tmp_path):
+        path = tmp_path / "t.rpq"
+        df.to_parquet(path)
+        meta = parquet_metadata(path)
+        assert meta["n_rows"] == 3
+        assert [c["name"] for c in meta["columns"]] == ["i", "f", "s"]
+
+    def test_missing_column_raises(self, df, tmp_path):
+        path = tmp_path / "t.rpq"
+        df.to_parquet(path)
+        with pytest.raises(KeyError):
+            pf.read_parquet(path, columns=["nope"])
+
+    def test_datetime_roundtrip(self, tmp_path):
+        df = pf.DataFrame(
+            {"d": np.array(["2020-01-02", "NaT"], dtype="datetime64[D]")}
+        )
+        path = tmp_path / "d.rpq"
+        df.to_parquet(path)
+        back = pf.read_parquet(path)
+        assert back["d"].dtype.kind == "M"
+        assert back["d"].isna().to_list() == [False, True]
+
+
+class TestConcat:
+    def test_rows_ignore_index(self):
+        a = pf.DataFrame({"x": [1, 2]})
+        b = pf.DataFrame({"x": [3]})
+        out = pf.concat([a, b], ignore_index=True)
+        assert out["x"].to_list() == [1, 2, 3]
+        assert out.index.to_list() == [0, 1, 2]
+
+    def test_rows_keep_index(self):
+        a = pf.DataFrame({"x": [1]}, index=[10])
+        b = pf.DataFrame({"x": [2]}, index=[20])
+        out = pf.concat([a, b])
+        assert out.index.to_list() == [10, 20]
+
+    def test_missing_columns_filled_with_nan(self):
+        a = pf.DataFrame({"x": [1]})
+        b = pf.DataFrame({"y": [2]})
+        out = pf.concat([a, b], ignore_index=True)
+        assert np.isnan(out["y"].to_list()[0])
+        assert np.isnan(out["x"].to_list()[1])
+
+    def test_dtype_promotion(self):
+        a = pf.DataFrame({"x": np.array([1], dtype=np.int64)})
+        b = pf.DataFrame({"x": np.array([2.5])})
+        out = pf.concat([a, b], ignore_index=True)
+        assert out["x"].dtype == np.float64
+
+    def test_series_concat(self):
+        out = pf.concat([pf.Series([1]), pf.Series([2])], ignore_index=True)
+        assert out.to_list() == [1, 2]
+
+    def test_axis1(self):
+        a = pf.DataFrame({"x": [1, 2]})
+        b = pf.DataFrame({"y": [3, 4]})
+        out = pf.concat([a, b], axis=1)
+        assert out.columns.to_list() == ["x", "y"]
+
+    def test_axis1_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pf.concat([pf.DataFrame({"x": [1]}), pf.DataFrame({"y": [1, 2]})], axis=1)
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            pf.concat([])
+
+
+class TestPivot:
+    def test_basic(self):
+        df = pf.DataFrame(
+            {
+                "r": ["a", "a", "b", "b"],
+                "c": ["x", "y", "x", "x"],
+                "v": [1.0, 2.0, 3.0, 5.0],
+            }
+        )
+        out = df.pivot_table(values="v", index="r", columns="c", aggfunc="sum")
+        assert out.index.to_list() == ["a", "b"]
+        assert out["x"].to_list() == [1.0, 8.0]
+        y = out["y"].to_list()
+        assert y[0] == 2.0 and np.isnan(y[1])
+
+    def test_mean_default(self):
+        df = pf.DataFrame(
+            {"r": ["a", "a"], "c": ["x", "x"], "v": [1.0, 3.0]}
+        )
+        out = df.pivot_table(values="v", index="r", columns="c")
+        assert out["x"].to_list() == [2.0]
+
+    def test_requires_index_and_columns(self):
+        df = pf.DataFrame({"r": ["a"], "v": [1.0]})
+        with pytest.raises(ValueError):
+            df.pivot_table(values="v", index="r")
+
+
+class TestDescribe:
+    def test_statistics(self):
+        df = pf.DataFrame({"v": [1.0, 2.0, 3.0, 4.0]})
+        out = df.describe()
+        assert out.loc["count", "v"] == 4.0
+        assert out.loc["mean", "v"] == 2.5
+        assert out.loc["50%", "v"] == 2.5
+        assert out.loc["min", "v"] == 1.0 and out.loc["max", "v"] == 4.0
+
+    def test_requires_numeric(self):
+        with pytest.raises(ValueError):
+            pf.DataFrame({"s": ["a"]}).describe()

@@ -1,0 +1,251 @@
+"""Unit tests for frame reshape (cut/qcut/get_dummies/melt) and window
+(rolling/rank/sample/corr/cov) modules."""
+
+import numpy as np
+import pytest
+
+from repro import frame as pf
+
+
+class TestCut:
+    def test_int_bins(self):
+        s = pf.Series([0.0, 2.5, 5.0, 7.5, 10.0])
+        out = pf.cut(s, 2)
+        assert out.nunique() == 2
+        assert out.to_list()[0] == out.to_list()[1]
+        assert out.to_list()[-1] != out.to_list()[0]
+
+    def test_explicit_edges_and_labels(self):
+        s = pf.Series([1.0, 15.0, 150.0])
+        out = pf.cut(s, [0, 10, 100, 1000], labels=["s", "m", "l"])
+        assert out.to_list() == ["s", "m", "l"]
+
+    def test_out_of_range_is_missing(self):
+        s = pf.Series([-5.0, 5.0])
+        out = pf.cut(s, [0, 10])
+        assert out.to_list()[0] is None
+
+    def test_nan_propagates(self):
+        out = pf.cut(pf.Series([1.0, np.nan]), [0, 10])
+        assert out.to_list()[1] is None
+
+    def test_includes_minimum(self):
+        out = pf.cut(pf.Series([1.0, 2.0, 3.0]), 3)
+        assert out.to_list()[0] is not None
+
+    def test_wrong_label_count(self):
+        with pytest.raises(ValueError):
+            pf.cut(pf.Series([1.0]), [0, 1, 2], labels=["only-one"])
+
+    def test_bad_edges(self):
+        with pytest.raises(ValueError):
+            pf.cut(pf.Series([1.0]), [3, 2, 1])
+
+
+class TestQcut:
+    def test_equal_counts(self):
+        s = pf.Series(np.arange(100, dtype=np.float64))
+        out = pf.qcut(s, 4, labels=list("abcd"))
+        counts = out.value_counts()
+        assert all(c == 25 for c in counts.to_list())
+
+    def test_duplicate_quantiles_collapse(self):
+        s = pf.Series([1.0] * 50 + [2.0] * 50)
+        out = pf.qcut(s, 4)
+        assert out.nunique() <= 2
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            pf.qcut(pf.Series([np.nan, np.nan]), 2)
+
+
+class TestGetDummies:
+    def test_series(self):
+        out = pf.get_dummies(pf.Series(["a", "b", "a"], name="g"))
+        assert out.columns.to_list() == ["g_a", "g_b"]
+        assert out["g_a"].to_list() == [1.0, 0.0, 1.0]
+
+    def test_frame_encodes_object_columns_only(self):
+        df = pf.DataFrame({"g": ["x", "y"], "v": [1.0, 2.0]})
+        out = pf.get_dummies(df)
+        assert out.columns.to_list() == ["g_x", "g_y", "v"]
+
+    def test_missing_values_encode_to_zero(self):
+        out = pf.get_dummies(pf.Series(["a", None], name="g"))
+        assert out.columns.to_list() == ["g_a"]
+        assert out["g_a"].to_list() == [1.0, 0.0]
+
+
+class TestMelt:
+    def test_basic(self):
+        df = pf.DataFrame({"id": [1, 2], "x": [10.0, 20.0], "y": [1.0, 2.0]})
+        out = df.melt(id_vars="id")
+        assert len(out) == 4
+        assert out.columns.to_list() == ["id", "variable", "value"]
+        assert out["variable"].to_list() == ["x", "x", "y", "y"]
+        assert out["value"].to_list() == [10.0, 20.0, 1.0, 2.0]
+
+    def test_value_vars_subset(self):
+        df = pf.DataFrame({"id": [1], "x": [1.0], "y": [2.0]})
+        out = df.melt(id_vars=["id"], value_vars=["y"])
+        assert out["value"].to_list() == [2.0]
+
+    def test_nothing_to_melt(self):
+        df = pf.DataFrame({"id": [1]})
+        with pytest.raises(ValueError):
+            df.melt(id_vars="id")
+
+
+class TestRolling:
+    def test_mean(self):
+        s = pf.Series([1.0, 2.0, 3.0, 4.0])
+        out = s.rolling(2).mean().to_list()
+        assert np.isnan(out[0]) and out[1:] == [1.5, 2.5, 3.5]
+
+    def test_min_periods(self):
+        s = pf.Series([1.0, 2.0, 3.0])
+        out = s.rolling(3, min_periods=1).sum().to_list()
+        assert out == [1.0, 3.0, 6.0]
+
+    def test_nan_values_skipped(self):
+        s = pf.Series([1.0, np.nan, 3.0])
+        out = s.rolling(2, min_periods=1).mean().to_list()
+        assert out == [1.0, 1.0, 3.0]
+
+    def test_min_max_std(self):
+        s = pf.Series([3.0, 1.0, 4.0])
+        assert s.rolling(2).min().to_list()[1:] == [1.0, 1.0]
+        assert s.rolling(2).max().to_list()[1:] == [3.0, 4.0]
+        std = s.rolling(2).std().to_list()
+        assert std[1] == pytest.approx(np.std([3.0, 1.0], ddof=1))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            pf.Series([1.0]).rolling(0)
+
+
+class TestRank:
+    def test_average_ties(self):
+        s = pf.Series([10.0, 20.0, 20.0, 30.0])
+        assert s.rank().to_list() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_min_and_first_methods(self):
+        s = pf.Series([5.0, 5.0, 1.0])
+        assert s.rank(method="min").to_list() == [2.0, 2.0, 1.0]
+        assert s.rank(method="first").to_list() == [2.0, 3.0, 1.0]
+
+    def test_descending(self):
+        s = pf.Series([1.0, 3.0, 2.0])
+        assert s.rank(ascending=False).to_list() == [3.0, 1.0, 2.0]
+
+    def test_nan_gets_nan_rank(self):
+        out = pf.Series([1.0, np.nan]).rank().to_list()
+        assert out[0] == 1.0 and np.isnan(out[1])
+
+
+class TestSample:
+    def test_n_rows(self):
+        df = pf.DataFrame({"x": list(range(100))})
+        out = df.sample(n=10, seed=0)
+        assert len(out) == 10
+        assert len(set(out["x"].to_list())) == 10  # without replacement
+
+    def test_frac(self):
+        df = pf.DataFrame({"x": list(range(100))})
+        assert len(df.sample(frac=0.25, seed=1)) == 25
+
+    def test_replace_allows_oversampling(self):
+        df = pf.DataFrame({"x": [1, 2]})
+        assert len(df.sample(n=10, seed=2, replace=True)) == 10
+
+    def test_deterministic_seed(self):
+        df = pf.DataFrame({"x": list(range(50))})
+        a = df.sample(n=5, seed=7)["x"].to_list()
+        b = df.sample(n=5, seed=7)["x"].to_list()
+        assert a == b
+
+    def test_requires_exactly_one_size(self):
+        df = pf.DataFrame({"x": [1]})
+        with pytest.raises(ValueError):
+            df.sample()
+        with pytest.raises(ValueError):
+            df.sample(n=1, frac=0.5)
+
+
+class TestCorrCov:
+    def test_perfect_correlation(self):
+        df = pf.DataFrame({"x": [1.0, 2.0, 3.0], "y": [2.0, 4.0, 6.0]})
+        out = df.corr()
+        assert out.loc["x", "y"] == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        df = pf.DataFrame({"x": [1.0, 2.0, 3.0], "y": [3.0, 2.0, 1.0]})
+        assert df.corr().loc["x", "y"] == pytest.approx(-1.0)
+
+    def test_cov_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        df = pf.DataFrame({"x": x, "y": y})
+        assert df.cov().loc["x", "y"] == pytest.approx(np.cov(x, y)[0, 1])
+
+    def test_nan_rows_dropped(self):
+        df = pf.DataFrame({"x": [1.0, 2.0, np.nan, 4.0],
+                           "y": [1.0, 2.0, 3.0, 4.0]})
+        assert df.corr().loc["x", "y"] == pytest.approx(1.0)
+
+    def test_object_columns_ignored(self):
+        df = pf.DataFrame({"x": [1.0, 2.0], "s": ["a", "b"]})
+        out = df.corr()
+        assert out.columns.to_list() == ["x"]
+
+
+class TestToDatetime:
+    def test_parse_strings(self):
+        out = pf.to_datetime(pf.Series(["2020-01-02", "1999-12-31"]))
+        assert out.dtype.kind == "M"
+        assert out.dt.year.to_list() == [2020.0, 1999.0]
+
+    def test_coerce_bad_values(self):
+        out = pf.to_datetime(pf.Series(["2020-01-02", "junk"]),
+                             errors="coerce")
+        assert out.isna().to_list() == [False, True]
+
+    def test_raise_on_bad(self):
+        with pytest.raises(ValueError):
+            pf.to_datetime(pf.Series(["junk"]))
+
+    def test_passthrough_datetime(self):
+        s = pf.to_datetime(pf.Series(["2021-06-01"]))
+        again = pf.to_datetime(s)
+        assert again.dt.month.to_list() == [6.0]
+
+    def test_none_becomes_nat(self):
+        out = pf.to_datetime(pf.Series(["2020-01-01", None]))
+        assert out.isna().to_list() == [False, True]
+
+    def test_plain_list_input(self):
+        out = pf.to_datetime(["2020-03-04"])
+        assert out.dt.day.to_list() == [4.0]
+
+
+class TestDateRange:
+    def test_start_end(self):
+        out = pf.date_range("2020-01-01", end="2020-01-05")
+        assert len(out) == 5
+        assert out.dt.day.to_list() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_periods(self):
+        out = pf.date_range("2020-01-01", periods=3, freq="W")
+        assert out.dt.day.to_list() == [1.0, 8.0, 15.0]
+
+    def test_custom_day_freq(self):
+        out = pf.date_range("2020-01-01", periods=3, freq="10D")
+        assert out.dt.day.to_list() == [1.0, 11.0, 21.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pf.date_range("2020-01-01")
+        with pytest.raises(ValueError):
+            pf.date_range("2020-01-05", end="2020-01-01")
+        with pytest.raises(ValueError):
+            pf.date_range("2020-01-01", periods=2, freq="H")

@@ -1,0 +1,304 @@
+"""Unit tests for repro.frame.Series."""
+
+import numpy as np
+import pytest
+
+from repro import frame as pf
+from repro.frame.index import Index, RangeIndex
+
+
+class TestConstruction:
+    def test_from_list(self):
+        s = pf.Series([1, 2, 3])
+        assert s.dtype == np.int64
+        assert len(s) == 3
+        assert isinstance(s.index, RangeIndex)
+
+    def test_from_array_with_index_and_name(self):
+        s = pf.Series(np.array([1.0, 2.0]), index=["a", "b"], name="x")
+        assert s.name == "x"
+        assert s.index.to_list() == ["a", "b"]
+
+    def test_scalar_broadcast(self):
+        s = pf.Series(7, index=[0, 1, 2])
+        assert s.to_list() == [7, 7, 7]
+
+    def test_strings_become_object(self):
+        s = pf.Series(["a", "bb"])
+        assert s.dtype == object
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pf.Series([1, 2], index=[0, 1, 2])
+
+    def test_copy_constructor_keeps_name(self):
+        s = pf.Series(pf.Series([1], name="n"))
+        assert s.name == "n"
+
+
+class TestArithmetic:
+    def test_scalar_ops(self):
+        s = pf.Series([1.0, 2.0, 3.0])
+        assert (s + 1).to_list() == [2.0, 3.0, 4.0]
+        assert (s * 2).to_list() == [2.0, 4.0, 6.0]
+        assert (10 - s).to_list() == [9.0, 8.0, 7.0]
+        assert (s ** 2).to_list() == [1.0, 4.0, 9.0]
+
+    def test_series_ops(self):
+        a = pf.Series([1, 2, 3])
+        b = pf.Series([10, 20, 30])
+        assert (a + b).to_list() == [11, 22, 33]
+        assert (b / a).to_list() == [10.0, 10.0, 10.0]
+
+    def test_nan_propagates(self):
+        s = pf.Series([1.0, np.nan])
+        out = (s + 1).to_list()
+        assert out[0] == 2.0 and np.isnan(out[1])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pf.Series([1, 2]) + pf.Series([1, 2, 3])
+
+    def test_neg_abs(self):
+        s = pf.Series([-1, 2])
+        assert (-s).to_list() == [1, -2]
+        assert s.abs().to_list() == [1, 2]
+
+
+class TestComparisons:
+    def test_scalar_compare(self):
+        s = pf.Series([1, 5, 3])
+        assert (s > 2).to_list() == [False, True, True]
+        assert (s == 3).to_list() == [False, False, True]
+
+    def test_object_compare(self):
+        s = pf.Series(["a", "b", None])
+        assert (s == "a").to_list() == [True, False, False]
+
+    def test_logical_ops(self):
+        a = pf.Series([True, True, False])
+        b = pf.Series([True, False, False])
+        assert (a & b).to_list() == [True, False, False]
+        assert (a | b).to_list() == [True, True, False]
+        assert (~a).to_list() == [False, False, True]
+
+
+class TestMissingData:
+    def test_isna_float(self):
+        s = pf.Series([1.0, np.nan])
+        assert s.isna().to_list() == [False, True]
+        assert s.notna().to_list() == [True, False]
+
+    def test_isna_object(self):
+        s = pf.Series(["a", None])
+        assert s.isna().to_list() == [False, True]
+
+    def test_fillna(self):
+        s = pf.Series([1.0, np.nan, 3.0])
+        assert s.fillna(0.0).to_list() == [1.0, 0.0, 3.0]
+
+    def test_fillna_object(self):
+        s = pf.Series(["a", None])
+        assert s.fillna("z").to_list() == ["a", "z"]
+
+    def test_dropna(self):
+        s = pf.Series([1.0, np.nan, 3.0])
+        out = s.dropna()
+        assert out.to_list() == [1.0, 3.0]
+        assert out.index.to_list() == [0, 2]
+
+
+class TestReductions:
+    def test_sum_mean_skipna(self):
+        s = pf.Series([1.0, np.nan, 3.0])
+        assert s.sum() == 4.0
+        assert s.mean() == 2.0
+        assert s.count() == 2
+
+    def test_min_max(self):
+        s = pf.Series([3, 1, 2])
+        assert s.min() == 1 and s.max() == 3
+
+    def test_min_max_object(self):
+        s = pf.Series(["b", "a", None])
+        assert s.min() == "a" and s.max() == "b"
+
+    def test_std_var(self):
+        s = pf.Series([1.0, 2.0, 3.0, 4.0])
+        assert s.var() == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert s.std() == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_var_single_value_is_nan(self):
+        assert np.isnan(pf.Series([1.0]).var())
+
+    def test_median_quantile(self):
+        s = pf.Series([1.0, 2.0, 3.0, 100.0])
+        assert s.median() == 2.5
+        assert s.quantile(0.5) == 2.5
+
+    def test_any_all(self):
+        assert pf.Series([False, True]).any()
+        assert not pf.Series([False, True]).all()
+
+    def test_idxmax_idxmin(self):
+        s = pf.Series([3.0, 9.0, 1.0], index=["a", "b", "c"])
+        assert s.idxmax() == "b"
+        assert s.idxmin() == "c"
+
+    def test_empty_mean_is_nan(self):
+        assert np.isnan(pf.Series(np.array([], dtype=np.float64)).mean())
+
+    def test_cumsum_with_nan(self):
+        s = pf.Series([1.0, np.nan, 2.0])
+        out = s.cumsum().to_list()
+        assert out[0] == 1.0 and np.isnan(out[1]) and out[2] == 3.0
+
+
+class TestSelection:
+    def test_boolean_mask_keeps_labels(self):
+        s = pf.Series([10, 20, 30])
+        out = s[s > 15]
+        assert out.to_list() == [20, 30]
+        assert out.index.to_list() == [1, 2]
+
+    def test_iloc_int_slice_list(self):
+        s = pf.Series([10, 20, 30])
+        assert s.iloc[1] == 20
+        assert s.iloc[1:].to_list() == [20, 30]
+        assert s.iloc[[0, 2]].to_list() == [10, 30]
+
+    def test_loc_label(self):
+        s = pf.Series([1, 2], index=["x", "y"])
+        assert s.loc["y"] == 2
+        assert s.loc[["y", "x"]].to_list() == [2, 1]
+
+    def test_head_tail(self):
+        s = pf.Series(range(10))
+        assert s.head(3).to_list() == [0, 1, 2]
+        assert s.tail(2).to_list() == [8, 9]
+
+
+class TestTransforms:
+    def test_astype(self):
+        assert pf.Series([1, 2]).astype(np.float64).dtype == np.float64
+        assert pf.Series(["1", "2"]).astype(np.int64).to_list() == [1, 2]
+
+    def test_map_dict(self):
+        s = pf.Series(["a", "b", "c"])
+        assert s.map({"a": 1, "b": 2}).to_list()[:2] == [1, 2]
+
+    def test_map_callable_skips_na(self):
+        s = pf.Series(["a", None])
+        out = s.map(str.upper)
+        assert out.to_list() == ["A", None]
+
+    def test_isin(self):
+        s = pf.Series([1, 2, 3])
+        assert s.isin([1, 3]).to_list() == [True, False, True]
+
+    def test_between(self):
+        s = pf.Series([1, 5, 10])
+        assert s.between(2, 10).to_list() == [False, True, True]
+        assert s.between(1, 10, inclusive="neither").to_list() == [False, True, False]
+
+    def test_where(self):
+        s = pf.Series([1.0, 2.0, 3.0])
+        out = s.where(s > 1.5, 0.0)
+        assert out.to_list() == [0.0, 2.0, 3.0]
+
+    def test_shift(self):
+        s = pf.Series([1.0, 2.0, 3.0])
+        out = s.shift(1).to_list()
+        assert np.isnan(out[0]) and out[1:] == [1.0, 2.0]
+
+    def test_clip_round(self):
+        assert pf.Series([1.26, 9.0]).clip(upper=5.0).round(1).to_list() == [1.3, 5.0]
+
+
+class TestUniqueness:
+    def test_unique_preserves_first_seen_for_objects(self):
+        s = pf.Series(["b", "a", "b"])
+        assert list(s.unique()) == ["b", "a"]
+
+    def test_nunique_dropna(self):
+        s = pf.Series([1.0, 1.0, np.nan])
+        assert s.nunique() == 1
+        assert s.nunique(dropna=False) == 2
+
+    def test_value_counts(self):
+        s = pf.Series(["x", "y", "x"])
+        vc = s.value_counts()
+        assert vc.index.to_list()[0] == "x"
+        assert vc.to_list() == [2, 1]
+
+    def test_drop_duplicates(self):
+        s = pf.Series([1, 2, 1, 3])
+        assert s.drop_duplicates().to_list() == [1, 2, 3]
+
+    def test_duplicated_keep_last(self):
+        s = pf.Series([1, 2, 1])
+        assert s.duplicated(keep="last").to_list() == [True, False, False]
+
+
+class TestSorting:
+    def test_sort_values(self):
+        s = pf.Series([3, 1, 2])
+        assert s.sort_values().to_list() == [1, 2, 3]
+        assert s.sort_values(ascending=False).to_list() == [3, 2, 1]
+
+    def test_sort_na_last(self):
+        s = pf.Series([3.0, np.nan, 1.0])
+        out = s.sort_values().to_list()
+        assert out[:2] == [1.0, 3.0] and np.isnan(out[2])
+
+    def test_sort_index(self):
+        s = pf.Series([1, 2], index=["b", "a"])
+        assert s.sort_index().to_list() == [2, 1]
+
+    def test_nlargest_nsmallest(self):
+        s = pf.Series([5, 1, 9, 3])
+        assert s.nlargest(2).to_list() == [9, 5]
+        assert s.nsmallest(2).to_list() == [1, 3]
+
+
+class TestAccessors:
+    def test_str_accessor_requires_object(self):
+        with pytest.raises(AttributeError):
+            pf.Series([1, 2]).str
+
+    def test_str_methods(self):
+        s = pf.Series(["Apple", "banana", None])
+        assert s.str.lower().to_list() == ["apple", "banana", None]
+        assert s.str.contains("an").to_list() == [False, True, False]
+        assert s.str.startswith("A").to_list() == [True, False, False]
+        lengths = s.str.len().to_list()
+        assert lengths[:2] == [5.0, 6.0] and np.isnan(lengths[2])
+
+    def test_str_slice_and_replace(self):
+        s = pf.Series(["hello"])
+        assert s.str.slice(0, 2).to_list() == ["he"]
+        assert s.str.replace("l", "L").to_list() == ["heLLo"]
+
+    def test_dt_accessor(self):
+        s = pf.Series(np.array(["2020-03-15", "1999-12-31"], dtype="datetime64[D]"))
+        assert s.dt.year.to_list() == [2020.0, 1999.0]
+        assert s.dt.month.to_list() == [3.0, 12.0]
+        assert s.dt.day.to_list() == [15.0, 31.0]
+
+
+class TestConversion:
+    def test_to_frame(self):
+        df = pf.Series([1, 2], name="v").to_frame()
+        assert df.columns.to_list() == ["v"]
+
+    def test_equals(self):
+        assert pf.Series([1.0, np.nan]).equals(pf.Series([1.0, np.nan]))
+        assert not pf.Series([1.0]).equals(pf.Series([2.0]))
+
+    def test_rename_and_reset_index(self):
+        s = pf.Series([1], index=["a"], name="v")
+        assert s.rename("w").name == "w"
+        assert s.reset_index(drop=True).index.to_list() == [0]
+
+    def test_nbytes_positive(self):
+        assert pf.Series([1, 2, 3]).nbytes > 0

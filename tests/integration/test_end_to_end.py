@@ -1,0 +1,123 @@
+"""End-to-end scenarios through the public API (the paper's Listing 2)."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.numpy as rnp
+import repro.pandas as rpd
+from repro import frame as pf
+from repro.workloads.tpch import ALL_QUERIES, generate_tables, write_tables
+from repro.workloads.tpch.queries import materialize
+
+
+@pytest.fixture(autouse=True)
+def fresh_runtime():
+    repro.init(n_workers=4, chunk_store_limit=64 * 1024)
+    yield
+    repro.shutdown()
+
+
+class TestListing2:
+    def test_import_swap_array_example(self):
+        a = rnp.random.rand(500, 16, seed=0)
+        q, r = rnp.linalg.qr(a)
+        qv, rv, av = q.fetch(), r.fetch(), a.fetch()
+        np.testing.assert_allclose(qv @ rv, av, atol=1e-10)
+
+    def test_import_swap_dataframe_example(self, tmp_path):
+        rng = np.random.default_rng(1)
+        local = pf.DataFrame({
+            "A": rng.integers(0, 5, 5_000),
+            "B": rng.normal(size=5_000),
+        })
+        path = tmp_path / "t.rpq"
+        local.to_parquet(path)
+        df = rpd.read_parquet(path)
+        out = df.groupby("A").agg({"B": "min"}).fetch().sort_index()
+        expected = local.groupby("A").agg({"B": "min"})
+        np.testing.assert_allclose(
+            np.asarray(out["B"].values, float),
+            np.asarray(expected["B"].values, float),
+        )
+
+    def test_filter_iloc_example(self, tmp_path):
+        rng = np.random.default_rng(2)
+        local = pf.DataFrame({"col": rng.normal(size=3_000),
+                              "x": np.arange(3_000)})
+        path = tmp_path / "t.rpq"
+        local.to_parquet(path)
+        df = rpd.read_parquet(path)
+        filtered = df[df["col"] < 1]
+        got = filtered.iloc[10].fetch()
+        expected = local[local["col"] < 1].iloc[10]
+        assert got.to_list() == expected.to_list()
+
+    def test_repr_is_deferred_evaluation(self):
+        df = rpd.from_dict({"a": list(range(100))})
+        session = repro.get_default_session()
+        before = session.executor.report.n_subtasks
+        text = repr(df.head(3))
+        assert session.executor.report.n_subtasks > before
+        assert "a" in text
+
+    def test_explicit_run(self):
+        df = rpd.from_dict({"a": list(range(50))})
+        doubled = df["a"] * 2
+        repro.run(doubled)
+        session = repro.get_default_session()
+        assert session.is_materialized(doubled.data)
+
+
+class TestFullTpchDistributed:
+    """A slice of the evaluation pipeline, end to end through files."""
+
+    def test_three_queries_from_parquet(self, tmp_path):
+        tables = generate_tables(sf=1.0, seed=7)
+        paths = write_tables(tables, tmp_path)
+        handles = {
+            name: rpd.read_parquet(path) for name, path in paths.items()
+        }
+        for query in ("q1", "q6", "q3"):
+            dist = materialize(ALL_QUERIES[query](handles))
+            local = materialize(ALL_QUERIES[query](tables))
+            if isinstance(local, float):
+                assert dist == pytest.approx(local)
+            else:
+                assert len(dist) == len(local)
+
+    def test_column_pruning_reads_less(self, tmp_path):
+        tables = generate_tables(sf=1.0, seed=8)
+        paths = write_tables(tables, tmp_path)
+        li = rpd.read_parquet(paths["lineitem"])
+        (li["l_quantity"] * 2).sum().fetch()
+        session = repro.get_default_session()
+        # the lineitem scan must have been pruned to one column
+        read_ops = {
+            c.op.params.get("columns") and tuple(c.op.params["columns"])
+            for c in li.data.chunks if hasattr(c.op, "params")
+        }
+        pruned = [cols for cols in read_ops if cols is not None]
+        assert pruned and all(len(cols) <= 2 for cols in pruned)
+
+
+class TestSessionReuse:
+    def test_many_queries_one_session(self):
+        rng = np.random.default_rng(3)
+        df = rpd.from_dict({
+            "k": rng.integers(0, 4, 2_000),
+            "v": rng.normal(size=2_000),
+        })
+        first = df.groupby("k").agg({"v": "sum"}).fetch()
+        second = df[df["v"] > 0].head(5).fetch()
+        third = float(df["v"].mean())
+        assert len(first) <= 4
+        assert len(second) == 5
+        assert isinstance(third, float)
+
+    def test_restart_runtime(self):
+        df = rpd.from_dict({"a": [1, 2, 3]})
+        df.execute()
+        repro.init(n_workers=2)  # restart with a different cluster
+        df2 = rpd.from_dict({"a": [4, 5, 6]})
+        assert df2.fetch()["a"].to_list() == [4, 5, 6]

@@ -1,0 +1,57 @@
+"""The drop-in claim itself: the repro.pandas / repro.numpy namespaces
+expose the names Listing 2's import swap relies on."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.numpy as rnp
+import repro.pandas as rpd
+
+
+class TestPandasNamespace:
+    def test_constructors_exposed(self):
+        for name in ("read_parquet", "read_csv", "concat", "from_frame",
+                     "from_dict", "DataFrame", "Series"):
+            assert hasattr(rpd, name), name
+
+    def test_from_dict_roundtrip(self):
+        repro.init(n_workers=2)
+        df = rpd.from_dict({"a": [3, 1, 2]})
+        assert df.sort_values("a").fetch()["a"].to_list() == [1, 2, 3]
+        repro.shutdown()
+
+
+class TestNumpyNamespace:
+    def test_structure_mirrors_numpy(self):
+        assert hasattr(rnp.random, "rand")
+        assert hasattr(rnp.random, "randn")
+        assert hasattr(rnp.linalg, "qr")
+        assert hasattr(rnp.linalg, "lstsq")
+        for name in ("ones", "zeros", "full", "arange", "array", "dot"):
+            assert hasattr(rnp, name), name
+
+    def test_array_is_from_numpy(self):
+        repro.init(n_workers=2)
+        t = rnp.array(np.eye(3))
+        np.testing.assert_array_equal(t.fetch(), np.eye(3))
+        repro.shutdown()
+
+
+class TestTopLevel:
+    def test_public_api(self):
+        for name in ("init", "run", "shutdown", "Config", "Session",
+                     "WorkerOutOfMemory", "__version__"):
+            assert hasattr(repro, name), name
+
+    def test_init_overrides(self):
+        session = repro.init(n_workers=3, memory_limit=64 * 1024 * 1024,
+                             chunk_store_limit=1234)
+        assert session.config.cluster.n_workers == 3
+        assert session.config.chunk_store_limit == 1234
+        repro.shutdown()
+
+    def test_init_rejects_unknown_override(self):
+        with pytest.raises(AttributeError):
+            repro.init(not_a_real_option=1)
+        repro.shutdown()

@@ -1,0 +1,251 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The central property of the whole system: for any frame and any supported
+operator chain, the distributed result equals the single-node backend's
+result. Plus structural invariants of auto rechunk, fusion, scheduling,
+and the storage service.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import Config
+from repro.core import Session, auto_rechunk, fusion_groups
+from repro.core.fusion import color_chunk_graph
+from repro.dataframe import from_frame
+from repro import frame as pf
+
+SLOW = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def small_frames(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    keys = draw(st.lists(
+        st.integers(min_value=0, max_value=5), min_size=n, max_size=n,
+    ))
+    values = draw(st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=n, max_size=n,
+    ))
+    return pf.DataFrame({"k": keys, "v": values})
+
+
+@st.composite
+def shapes_and_limits(draw):
+    ndim = draw(st.integers(min_value=1, max_value=3))
+    shape = tuple(
+        draw(st.integers(min_value=1, max_value=500)) for _ in range(ndim)
+    )
+    itemsize = draw(st.sampled_from([1, 4, 8]))
+    limit = draw(st.integers(min_value=8, max_value=100_000))
+    return shape, itemsize, limit
+
+
+def tiny_session():
+    cfg = Config()
+    cfg.chunk_store_limit = 256  # force many chunks even on tiny frames
+    return Session(cfg)
+
+
+# ---------------------------------------------------------------------------
+# distributed == single-node
+# ---------------------------------------------------------------------------
+
+class TestDistributedEquivalence:
+    @SLOW
+    @given(small_frames())
+    def test_groupby_sum_equivalence(self, local):
+        session = tiny_session()
+        try:
+            dist = from_frame(local, session)
+            got = dist.groupby("k").agg({"v": "sum"}).fetch().sort_index()
+            expected = local.groupby("k").agg({"v": "sum"})
+            np.testing.assert_allclose(
+                np.asarray(got["v"].values, float),
+                np.asarray(expected["v"].values, float),
+                rtol=1e-9, atol=1e-6,
+            )
+        finally:
+            session.close()
+
+    @SLOW
+    @given(small_frames(), st.floats(min_value=-1e5, max_value=1e5,
+                                     allow_nan=False))
+    def test_filter_equivalence(self, local, threshold):
+        session = tiny_session()
+        try:
+            dist = from_frame(local, session)
+            got = dist[dist["v"] > threshold].fetch()
+            expected = local[local["v"] > threshold]
+            assert len(got) == len(expected)
+            np.testing.assert_allclose(
+                np.asarray(got["v"].values, float),
+                np.asarray(expected["v"].values, float),
+            )
+        finally:
+            session.close()
+
+    @SLOW
+    @given(small_frames())
+    def test_sort_equivalence(self, local):
+        session = tiny_session()
+        try:
+            dist = from_frame(local, session)
+            got = dist.sort_values("v").fetch()
+            expected = local.sort_values("v")
+            np.testing.assert_allclose(
+                np.asarray(got["v"].values, float),
+                np.asarray(expected["v"].values, float),
+            )
+        finally:
+            session.close()
+
+    @SLOW
+    @given(small_frames())
+    def test_reduction_equivalence(self, local):
+        session = tiny_session()
+        try:
+            dist = from_frame(local, session)
+            assert float(dist["v"].sum()) == pytest.approx(
+                float(local["v"].sum()), rel=1e-9, abs=1e-6
+            )
+            assert int(dist["v"].count()) == local["v"].count()
+        finally:
+            session.close()
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 invariants
+# ---------------------------------------------------------------------------
+
+class TestAutoRechunkProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(shapes_and_limits())
+    def test_covers_shape_exactly(self, case):
+        shape, itemsize, limit = case
+        result = auto_rechunk(shape, {}, itemsize, limit)
+        for dim, length in enumerate(shape):
+            assert sum(result[dim]) == length
+            assert all(e >= 1 for e in result[dim])
+
+    @settings(max_examples=100, deadline=None)
+    @given(shapes_and_limits())
+    def test_constrained_dim_respected(self, case):
+        shape, itemsize, limit = case
+        constraint = {0: shape[0]}  # whole first dimension per chunk
+        result = auto_rechunk(shape, constraint, itemsize, limit)
+        assert result[0] == [shape[0]]
+
+    @settings(max_examples=100, deadline=None)
+    @given(shapes_and_limits())
+    def test_chunks_bounded_unless_unit(self, case):
+        shape, itemsize, limit = case
+        result = auto_rechunk(shape, {}, itemsize, limit)
+        max_bytes = itemsize
+        for dim in range(len(shape)):
+            max_bytes *= max(result[dim])
+        # either within ~2x of the limit or already at minimum granularity
+        at_minimum = all(max(result[d]) == 1 for d in range(len(shape)))
+        assert max_bytes <= 4 * limit or at_minimum
+
+
+# ---------------------------------------------------------------------------
+# fusion invariants
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_dags(draw):
+    """Random chunk DAGs via random predecessor selection."""
+    from repro.core.operator import Operator
+    from repro.graph import DAG, ChunkData
+
+    class AnyOp(Operator):
+        def execute(self, ctx):
+            return None
+
+    n = draw(st.integers(min_value=1, max_value=25))
+    graph = DAG()
+    chunks = []
+    for i in range(n):
+        n_preds = draw(st.integers(min_value=0, max_value=min(i, 3)))
+        preds = (
+            draw(st.lists(st.sampled_from(chunks), min_size=n_preds,
+                          max_size=n_preds, unique=True))
+            if chunks and n_preds else []
+        )
+        op = AnyOp()
+        chunk = op.new_chunk(preds, "tensor", (1,), (i,))
+        graph.add_node(chunk)
+        for p in preds:
+            graph.add_edge(p, chunk)
+        chunks.append(chunk)
+    return graph
+
+
+class TestFusionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_dags())
+    def test_groups_partition_nodes(self, graph):
+        groups = fusion_groups(graph)
+        seen = [c.key for g in groups for c in g]
+        assert sorted(seen) == sorted(c.key for c in graph.nodes())
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dags())
+    def test_groups_are_convex(self, graph):
+        """No path may leave a subtask and re-enter it (deadlock-free)."""
+        from repro.graph.subtask import build_subtask_graph
+
+        groups = fusion_groups(graph)
+        subtask_graph = build_subtask_graph(graph, groups)
+        subtask_graph.topological_order()  # raises GraphError on a cycle
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dags())
+    def test_every_node_colored(self, graph):
+        color = color_chunk_graph(graph)
+        assert set(color) == {c.key for c in graph.nodes()}
+
+
+# ---------------------------------------------------------------------------
+# storage invariants
+# ---------------------------------------------------------------------------
+
+class TestStorageProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=400),
+                    min_size=1, max_size=30))
+    def test_memory_accounting_never_exceeds_limit(self, sizes):
+        from repro.cluster import ClusterState
+        from repro.storage import StorageService
+
+        cfg = Config()
+        cfg.cluster.n_workers = 1
+        cfg.cluster.memory_limit = 1200
+        cfg.spill_to_disk = True
+        cluster = ClusterState(cfg)
+        service = StorageService(cluster, cfg)
+        from repro.errors import WorkerOutOfMemory
+
+        stored = []
+        for i, size in enumerate(sizes):
+            try:
+                service.put(f"k{i}", bytearray(size), "worker-0")
+                stored.append(f"k{i}")
+            except WorkerOutOfMemory:
+                pass
+            assert cluster.memory["worker-0"].used <= 1200
+        # everything stored must still be readable (memory or disk)
+        for key in stored:
+            assert service.get(key, "worker-0").value is not None

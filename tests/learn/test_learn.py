@@ -1,0 +1,210 @@
+"""Tests for the distributed ML module (repro.learn)."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.numpy as rnp
+from repro.learn import (
+    KMeans,
+    LinearRegression,
+    MinMaxScaler,
+    Ridge,
+    StandardScaler,
+    accuracy_score,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    train_test_split,
+)
+
+
+@pytest.fixture(autouse=True)
+def runtime():
+    repro.init(n_workers=2, chunk_store_limit=32 * 1024)
+    yield
+    repro.shutdown()
+
+
+def make_regression(n=2000, k=4, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, (n, k))
+    beta = np.linspace(1.0, 2.0, k)
+    y = x @ beta + 0.5 + rng.normal(0, noise, n)
+    return x, y, beta
+
+
+class TestSplit:
+    def test_shapes(self):
+        x, y, _ = make_regression()
+        xt = rnp.tensor_from_numpy(x)
+        yt = rnp.tensor_from_numpy(y)
+        x_train, x_test, y_train, y_test = train_test_split(xt, yt, 0.25)
+        assert x_train.shape[0] == y_train.shape[0] == 1500
+        assert x_test.shape[0] == y_test.shape[0] == 500
+
+    def test_partition_is_exact(self):
+        x, y, _ = make_regression(n=400)
+        xt, yt = rnp.tensor_from_numpy(x), rnp.tensor_from_numpy(y)
+        x_train, x_test, *_ = train_test_split(xt, yt, 0.3)
+        joined = np.vstack([x_test.fetch(), x_train.fetch()])
+        np.testing.assert_array_equal(joined, x)
+
+    def test_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            train_test_split(rnp.tensor_from_numpy(np.zeros((10, 2))),
+                             rnp.tensor_from_numpy(np.zeros(9)))
+
+    def test_invalid_fraction(self):
+        xt = rnp.tensor_from_numpy(np.zeros((10, 2)))
+        yt = rnp.tensor_from_numpy(np.zeros(10))
+        with pytest.raises(ValueError):
+            train_test_split(xt, yt, 1.5)
+
+
+class TestScalers:
+    def test_standard_scaler_moments(self):
+        x, *_ = make_regression(seed=1)
+        x = x * 7.0 + 3.0
+        scaled = StandardScaler().fit_transform(
+            rnp.tensor_from_numpy(x)
+        ).fetch()
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0, ddof=1), 1.0,
+                                   atol=1e-9)
+
+    def test_standard_scaler_constant_column(self):
+        x = np.column_stack([np.ones(100), np.arange(100.0)])
+        scaled = StandardScaler().fit_transform(
+            rnp.tensor_from_numpy(x)
+        ).fetch()
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_minmax_scaler(self):
+        x, *_ = make_regression(seed=2)
+        scaled = MinMaxScaler().fit_transform(
+            rnp.tensor_from_numpy(x)
+        ).fetch()
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(
+                rnp.tensor_from_numpy(np.zeros((4, 2)))
+            )
+
+
+class TestLinearModels:
+    def test_exact_recovery(self):
+        x, y, beta = make_regression(seed=3)
+        model = LinearRegression().fit(
+            rnp.tensor_from_numpy(x), rnp.tensor_from_numpy(y)
+        )
+        np.testing.assert_allclose(model.coef_, beta, atol=1e-8)
+        assert model.intercept_ == pytest.approx(0.5, abs=1e-8)
+
+    def test_without_intercept(self):
+        x, y, beta = make_regression(seed=4)
+        y = y - 0.5  # remove the intercept
+        model = LinearRegression(fit_intercept=False).fit(
+            rnp.tensor_from_numpy(x), rnp.tensor_from_numpy(y)
+        )
+        np.testing.assert_allclose(model.coef_, beta, atol=1e-8)
+        assert model.intercept_ == 0.0
+
+    def test_matches_numpy_lstsq_under_noise(self):
+        x, y, _ = make_regression(seed=5, noise=0.3)
+        model = LinearRegression(fit_intercept=False).fit(
+            rnp.tensor_from_numpy(x), rnp.tensor_from_numpy(y)
+        )
+        expected, *_ = np.linalg.lstsq(x, y, rcond=None)
+        np.testing.assert_allclose(model.coef_, expected, atol=1e-7)
+
+    def test_predict_and_score(self):
+        x, y, _ = make_regression(seed=6, noise=0.01)
+        xt, yt = rnp.tensor_from_numpy(x), rnp.tensor_from_numpy(y)
+        model = LinearRegression().fit(xt, yt)
+        predictions = model.predict(xt).fetch().ravel()
+        assert np.corrcoef(predictions, y)[0, 1] > 0.999
+        assert model.score(xt, yt) > 0.999
+
+    def test_ridge_shrinks(self):
+        x, y, _ = make_regression(seed=7, noise=0.1)
+        xt, yt = rnp.tensor_from_numpy(x), rnp.tensor_from_numpy(y)
+        ols = LinearRegression(fit_intercept=False).fit(xt, yt)
+        ridge = Ridge(alpha=100.0, fit_intercept=False).fit(xt, yt)
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(ols.coef_)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(
+                rnp.tensor_from_numpy(np.zeros((4, 2)))
+            )
+
+
+class TestKMeans:
+    def _blobs(self, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = np.array([[0.0, 0.0], [8.0, 8.0], [0.0, 8.0]])
+        points = np.vstack([
+            rng.normal(c, 0.4, (300, 2)) for c in centers
+        ])
+        rng.shuffle(points)
+        return points, centers
+
+    def test_recovers_centers(self):
+        points, true_centers = self._blobs()
+        km = KMeans(n_clusters=3, seed=1).fit(rnp.tensor_from_numpy(points))
+        found = km.cluster_centers_[np.lexsort(km.cluster_centers_.T)]
+        expected = true_centers[np.lexsort(true_centers.T)]
+        np.testing.assert_allclose(found, expected, atol=0.3)
+
+    def test_predict_labels_consistent(self):
+        points, _ = self._blobs(seed=2)
+        t = rnp.tensor_from_numpy(points)
+        km = KMeans(n_clusters=3, seed=3).fit(t)
+        labels = km.predict(t).fetch().ravel()
+        assert set(np.unique(labels)) <= {0.0, 1.0, 2.0}
+        # points in the same tight blob share a label
+        first_blob = labels[np.linalg.norm(points - points[0], axis=1) < 1.0]
+        assert len(set(first_blob)) == 1
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points, _ = self._blobs(seed=4)
+        t = rnp.tensor_from_numpy(points)
+        one = KMeans(n_clusters=1, seed=5).fit(t).inertia_
+        three = KMeans(n_clusters=3, seed=5).fit(t).inertia_
+        assert three < one
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(
+                rnp.tensor_from_numpy(np.zeros((5, 2)))
+            )
+
+
+class TestMetrics:
+    def test_mse_mae(self):
+        a = rnp.tensor_from_numpy(np.array([1.0, 2.0, 3.0]))
+        b = rnp.tensor_from_numpy(np.array([1.0, 2.0, 5.0]))
+        assert mean_squared_error(a, b) == pytest.approx(4.0 / 3.0)
+        assert mean_absolute_error(a, b) == pytest.approx(2.0 / 3.0)
+
+    def test_r2_perfect_and_mean(self):
+        y = rnp.tensor_from_numpy(np.array([1.0, 2.0, 3.0]))
+        assert r2_score(y, y) == pytest.approx(1.0)
+        mean_pred = rnp.tensor_from_numpy(np.full(3, 2.0))
+        assert r2_score(y, mean_pred) == pytest.approx(0.0)
+
+    def test_accuracy(self):
+        a = rnp.tensor_from_numpy(np.array([0.0, 1.0, 1.0, 0.0]))
+        b = rnp.tensor_from_numpy(np.array([0.0, 1.0, 0.0, 0.0]))
+        assert accuracy_score(a, b) == pytest.approx(0.75)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error(
+                rnp.tensor_from_numpy(np.zeros(3)),
+                rnp.tensor_from_numpy(np.zeros(4)),
+            )

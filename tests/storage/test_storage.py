@@ -1,0 +1,170 @@
+"""Unit tests for the storage service and shuffle manager."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState
+from repro.config import Config
+from repro.errors import StorageKeyError, WorkerOutOfMemory
+from repro.storage import ShuffleManager, StorageLevel, StorageService
+
+
+def make_service(memory_limit=10_000, spill=True, n_workers=2):
+    cfg = Config()
+    cfg.cluster.n_workers = n_workers
+    cfg.cluster.memory_limit = memory_limit
+    cfg.spill_to_disk = spill
+    cluster = ClusterState(cfg)
+    return StorageService(cluster, cfg), cluster
+
+
+class TestPutGet:
+    def test_roundtrip_local(self):
+        service, _ = make_service()
+        value = np.arange(10)
+        service.put("k1", value, "worker-0")
+        info = service.get("k1", "worker-0")
+        assert np.array_equal(info.value, value)
+        assert info.transferred_bytes == 0
+
+    def test_remote_get_charges_transfer(self):
+        service, _ = make_service()
+        service.put("k1", np.arange(100), "worker-0")
+        info = service.get("k1", "worker-1")
+        assert info.transferred_bytes == info.nbytes > 0
+        assert service.total_transferred_bytes == info.nbytes
+
+    def test_missing_key(self):
+        service, _ = make_service()
+        with pytest.raises(StorageKeyError):
+            service.get("nope", "worker-0")
+
+    def test_put_charges_memory(self):
+        service, cluster = make_service()
+        service.put("k1", np.arange(100), "worker-0")
+        assert cluster.memory["worker-0"].used > 0
+
+    def test_delete_releases_memory(self):
+        service, cluster = make_service()
+        service.put("k1", np.arange(100), "worker-0")
+        service.delete("k1")
+        assert cluster.memory["worker-0"].used == 0
+        assert not service.contains("k1")
+
+    def test_overwrite_replaces(self):
+        service, cluster = make_service()
+        service.put("k1", np.arange(100), "worker-0")
+        used1 = cluster.memory["worker-0"].used
+        service.put("k1", np.arange(10), "worker-0")
+        assert cluster.memory["worker-0"].used < used1
+
+    def test_location_of(self):
+        service, _ = make_service()
+        service.put("k1", 1, "worker-1")
+        assert service.location_of("k1") == ("worker-1", StorageLevel.MEMORY)
+
+    def test_delete_missing_is_noop(self):
+        service, _ = make_service()
+        service.delete("nope")  # must not raise
+
+
+class TestSpill:
+    def test_spill_moves_lru_to_disk(self):
+        service, cluster = make_service(memory_limit=2000)
+        a = np.zeros(100)  # 800 bytes
+        service.put("old", a, "worker-0")
+        service.put("mid", a, "worker-0")
+        service.put("new", a, "worker-0")  # must evict "old"
+        assert service.location_of("old") == ("worker-0", StorageLevel.DISK)
+        assert service.location_of("new") == ("worker-0", StorageLevel.MEMORY)
+        assert service.total_spilled_bytes >= a.nbytes
+
+    def test_spilled_read_has_penalty(self):
+        service, _ = make_service(memory_limit=2000)
+        a = np.zeros(100)
+        service.put("old", a, "worker-0")
+        service.put("mid", a, "worker-0")
+        service.put("new", a, "worker-0")
+        info = service.get("old", "worker-0")
+        assert info.tier_penalty > 1.0
+        assert np.array_equal(info.value, a)
+
+    def test_get_refreshes_lru(self):
+        service, _ = make_service(memory_limit=2000)
+        a = np.zeros(100)
+        service.put("old", a, "worker-0")
+        service.put("mid", a, "worker-0")
+        service.get("old", "worker-0")  # touch → "mid" becomes LRU
+        service.put("new", a, "worker-0")
+        assert service.location_of("mid")[1] == StorageLevel.DISK
+        assert service.location_of("old")[1] == StorageLevel.MEMORY
+
+    def test_no_spill_raises_oom(self):
+        service, _ = make_service(memory_limit=1000, spill=False)
+        service.put("a", np.zeros(100), "worker-0")
+        with pytest.raises(WorkerOutOfMemory):
+            service.put("b", np.zeros(100), "worker-0")
+
+    def test_oversized_value_oom_even_with_spill(self):
+        service, _ = make_service(memory_limit=1000, spill=True)
+        with pytest.raises(WorkerOutOfMemory):
+            service.put("huge", np.zeros(1000), "worker-0")
+
+    def test_ensure_free(self):
+        service, cluster = make_service(memory_limit=2000)
+        service.put("a", np.zeros(100), "worker-0")
+        service.put("b", np.zeros(100), "worker-0")
+        service.ensure_free("worker-0", 1800)
+        assert cluster.memory["worker-0"].available >= 1800
+
+
+class TestRemoteLevel:
+    def test_remote_put_get(self):
+        service, cluster = make_service()
+        service.put("k", np.arange(10), "worker-0", level=StorageLevel.REMOTE)
+        assert cluster.memory["worker-0"].used == 0
+        info = service.get("k", "worker-1")
+        assert info.transferred_bytes > 0
+        assert info.tier_penalty > 1.0
+
+
+class TestShuffle:
+    def test_write_and_gather(self):
+        service, _ = make_service()
+        shuffle = ShuffleManager(service)
+        shuffle.write_partition("s1", mapper=0, reducer=0, data=[1, 2], worker="worker-0")
+        shuffle.write_partition("s1", mapper=1, reducer=0, data=[3], worker="worker-1")
+        shuffle.write_partition("s1", mapper=0, reducer=1, data=[9], worker="worker-0")
+        values, transferred, penalty = shuffle.gather("s1", 0, "worker-0")
+        assert values == [[1, 2], [3]]
+        assert transferred > 0  # mapper 1's partition crossed workers
+        assert shuffle.mapper_count("s1") == 2
+
+    def test_gather_local_no_transfer(self):
+        service, _ = make_service()
+        shuffle = ShuffleManager(service)
+        shuffle.write_partition("s1", 0, 0, [1], "worker-0")
+        _, transferred, _ = shuffle.gather("s1", 0, "worker-0")
+        assert transferred == 0
+
+    def test_cleanup_frees_storage(self):
+        service, cluster = make_service()
+        shuffle = ShuffleManager(service)
+        shuffle.write_partition("s1", 0, 0, np.zeros(100), "worker-0")
+        assert cluster.memory["worker-0"].used > 0
+        shuffle.cleanup("s1")
+        assert cluster.memory["worker-0"].used == 0
+
+    def test_gather_unknown_shuffle(self):
+        service, _ = make_service()
+        shuffle = ShuffleManager(service)
+        values, transferred, _ = shuffle.gather("nope", 0, "worker-0")
+        assert values == [] and transferred == 0
+
+    def test_live_bytes(self):
+        service, _ = make_service()
+        shuffle = ShuffleManager(service)
+        shuffle.write_partition("s1", 0, 0, np.zeros(10), "worker-0")
+        assert shuffle.live_bytes("s1") > 0
+        shuffle.cleanup("s1")
+        assert shuffle.live_bytes("s1") == 0

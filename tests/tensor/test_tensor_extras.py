@@ -1,0 +1,79 @@
+"""Tests for tensor row slicing and map_blocks."""
+
+import numpy as np
+import pytest
+
+from repro.config import Config
+from repro.core import Session
+from repro.errors import TilingError
+from repro.tensor import tensor_from_numpy
+
+
+@pytest.fixture
+def session():
+    cfg = Config()
+    cfg.chunk_store_limit = 4096
+    s = Session(cfg)
+    yield s
+    s.close()
+
+
+class TestRowSlice:
+    def test_middle_slice(self, session):
+        a = np.arange(200.0).reshape(50, 4)
+        t = tensor_from_numpy(a, session)
+        np.testing.assert_array_equal(t[10:30].fetch(), a[10:30])
+
+    def test_open_ended(self, session):
+        a = np.arange(120.0).reshape(40, 3)
+        t = tensor_from_numpy(a, session)
+        np.testing.assert_array_equal(t[25:].fetch(), a[25:])
+        np.testing.assert_array_equal(t[:7].fetch(), a[:7])
+
+    def test_1d(self, session):
+        a = np.arange(300.0)
+        t = tensor_from_numpy(a, session)
+        np.testing.assert_array_equal(t[100:250].fetch(), a[100:250])
+
+    def test_crosses_chunk_boundaries(self, session):
+        a = np.random.default_rng(0).random((400, 3))
+        t = tensor_from_numpy(a, session).execute()
+        assert len(t.data.chunks) > 1
+        np.testing.assert_array_equal(t[37:311].fetch(), a[37:311])
+
+    def test_empty_slice_rejected(self, session):
+        t = tensor_from_numpy(np.zeros((10, 2)), session)
+        with pytest.raises(TilingError):
+            t[5:5].fetch()
+
+    def test_strided_not_supported(self, session):
+        t = tensor_from_numpy(np.zeros((10, 2)), session)
+        with pytest.raises(NotImplementedError):
+            t[::2]
+
+
+class TestMapBlocks:
+    def test_identity(self, session):
+        a = np.random.default_rng(1).random((100, 4))
+        t = tensor_from_numpy(a, session)
+        np.testing.assert_array_equal(
+            t.map_blocks(lambda b: b, out_cols=4).fetch(), a
+        )
+
+    def test_column_expansion(self, session):
+        a = np.random.default_rng(2).random((80, 3))
+        t = tensor_from_numpy(a, session)
+        out = t.map_blocks(
+            lambda b: np.hstack([b, np.ones((b.shape[0], 1))]), out_cols=4
+        ).fetch()
+        assert out.shape == (80, 4)
+        np.testing.assert_array_equal(out[:, 3], 1.0)
+        np.testing.assert_array_equal(out[:, :3], a)
+
+    def test_rechunks_column_blocked_input(self, session):
+        a = np.random.default_rng(3).random((60, 60))
+        t = tensor_from_numpy(a, session).execute()
+        # the source grid may be 2-D blocked; map_blocks must still see
+        # full-width row blocks
+        out = t.map_blocks(lambda b: b * 2, out_cols=60).fetch()
+        np.testing.assert_allclose(out, a * 2)

@@ -1,0 +1,175 @@
+"""Tests for the workload generators and pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame as LocalFrame
+from repro.workloads.census import census_pipeline, generate_census
+from repro.workloads.plasticc import generate_plasticc, plasticc_pipeline
+from repro.workloads.tpcxai import generate_uc10, uc10_pipeline
+from repro.workloads.tpch import (
+    ALL_QUERIES,
+    QUERY_FEATURES,
+    generate_tables,
+    materialize,
+)
+from repro.workloads.tpch.dbgen import dataset_bytes, write_tables
+from repro.workloads.tpch import schema
+
+
+class TestDbgen:
+    def test_all_tables_present(self):
+        tables = generate_tables(sf=0.5, seed=0)
+        assert set(tables) == set(schema.ROWS_PER_SF)
+
+    def test_row_counts_scale(self):
+        small = generate_tables(sf=0.5, seed=0)
+        big = generate_tables(sf=2.0, seed=0)
+        assert len(big["lineitem"]) == 4 * len(small["lineitem"])
+        # fixed tables don't scale
+        assert len(big["nation"]) == len(small["nation"]) == 25
+
+    def test_foreign_keys_valid(self):
+        tables = generate_tables(sf=1.0, seed=1)
+        custkeys = set(tables["customer"]["c_custkey"].to_list())
+        assert set(tables["orders"]["o_custkey"].to_list()) <= custkeys
+        orderkeys = set(tables["orders"]["o_orderkey"].to_list())
+        assert set(tables["lineitem"]["l_orderkey"].to_list()) <= orderkeys
+        assert set(tables["nation"]["n_regionkey"].to_list()) <= set(range(5))
+
+    def test_dates_ordered(self):
+        tables = generate_tables(sf=1.0, seed=2)
+        li = tables["lineitem"]
+        ship = li["l_shipdate"].values
+        receipt = li["l_receiptdate"].values
+        assert bool(np.all(receipt > ship))
+
+    def test_deterministic(self):
+        a = generate_tables(sf=0.5, seed=3)
+        b = generate_tables(sf=0.5, seed=3)
+        assert a["orders"].equals(b["orders"])
+
+    def test_skew_concentrates_keys(self):
+        uniform = generate_tables(sf=1.0, seed=4, skew=0.0)
+        skewed = generate_tables(sf=1.0, seed=4, skew=0.8)
+
+        def top_share(frame):
+            vc = frame["o_custkey"].value_counts()
+            return vc.values[0] / vc.values.sum()
+
+        assert top_share(skewed["orders"]) > 5 * top_share(uniform["orders"])
+
+    def test_write_tables(self, tmp_path):
+        tables = generate_tables(sf=0.5, seed=5)
+        paths = write_tables(tables, tmp_path)
+        assert len(paths) == 8
+        from repro.frame import read_parquet
+
+        back = read_parquet(paths["region"])
+        assert back["r_name"].to_list() == schema.REGIONS
+
+    def test_dataset_bytes_positive(self):
+        tables = generate_tables(sf=0.5, seed=6)
+        assert dataset_bytes(tables) > 100_000
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return generate_tables(sf=1.5, seed=1)
+
+    def test_all_queries_have_features(self):
+        assert set(QUERY_FEATURES) == set(ALL_QUERIES)
+        assert all(QUERY_FEATURES[q] for q in ALL_QUERIES)
+
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_query_runs_locally(self, tables, name):
+        result = materialize(ALL_QUERIES[name](tables))
+        assert result is not None
+        if hasattr(result, "columns"):
+            assert len(result.columns) > 0
+
+    def test_q1_aggregates_whole_table(self, tables):
+        out = materialize(ALL_QUERIES["q1"](tables))
+        # groups cover returnflag x linestatus combinations present
+        assert 1 <= len(out) <= 6
+        total_qty = out["l_quantity"].sum()
+        li = tables["lineitem"]
+        kept = li[li["l_shipdate"] <= np.datetime64("1998-09-02")]
+        assert total_qty == pytest.approx(kept["l_quantity"].sum())
+
+    def test_q6_matches_manual(self, tables):
+        li = tables["lineitem"]
+        mask = (
+            (li["l_shipdate"].values >= np.datetime64("1994-01-01"))
+            & (li["l_shipdate"].values < np.datetime64("1995-01-01"))
+            & (li["l_discount"].values >= 0.05)
+            & (li["l_discount"].values <= 0.07)
+            & (li["l_quantity"].values < 24)
+        )
+        expected = float(
+            (li["l_extendedprice"].values * li["l_discount"].values)[mask].sum()
+        )
+        assert ALL_QUERIES["q6"](tables) == pytest.approx(expected)
+
+    def test_named_agg_queries_tagged(self):
+        named = {q for q, f in QUERY_FEATURES.items()
+                 if "groupby_named_agg" in f}
+        assert named == {"q13", "q16", "q21"}
+
+
+class TestPipelines:
+    def test_uc10_skew_shape(self):
+        tables = generate_uc10(n_customers=200, n_transactions=5_000,
+                               skew=0.8, seed=0)
+        counts = tables["transactions"]["customer_id"].value_counts()
+        assert counts.values[0] / counts.values.sum() > 0.5
+
+    def test_uc10_pipeline_output(self):
+        tables = generate_uc10(n_customers=100, n_transactions=3_000, seed=1)
+        out = materialize(uc10_pipeline(tables))
+        assert out.columns.to_list() == [
+            "customer_id", "amount", "over_limit", "night", "merchant",
+        ]
+        assert len(out) <= 100
+        amounts = np.asarray(out["amount"].values, dtype=np.float64)
+        assert bool(np.all(amounts[:-1] >= amounts[1:]))  # sorted desc
+
+    def test_census_pipeline(self):
+        tables = generate_census(n_rows=3_000, seed=2)
+        out = materialize(census_pipeline(tables))
+        assert len(out) <= 4 * 5  # region x education
+        assert "real_income" in out.columns.to_list()
+        assert out["person_id"].sum() > 0
+
+    def test_census_handles_missing(self):
+        tables = generate_census(n_rows=3_000, seed=3)
+        assert tables["people"]["age"].isna().values.sum() > 0
+        materialize(census_pipeline(tables))  # must not raise
+
+    def test_plasticc_pipeline(self):
+        tables = generate_plasticc(n_objects=200, points_per_object=12,
+                                   seed=4)
+        out = materialize(plasticc_pipeline(tables))
+        assert 0 < len(out) <= 200
+        assert "snr" in out.columns.to_list()
+        assert "target" in out.columns.to_list()
+
+    def test_pipelines_run_distributed(self):
+        from repro.config import Config
+        from repro.core import Session
+        from repro.dataframe import from_frame
+
+        cfg = Config()
+        cfg.chunk_store_limit = 40_000
+        session = Session(cfg)
+        tables = generate_uc10(n_customers=100, n_transactions=8_000, seed=5)
+        handles = {k: from_frame(v, session) for k, v in tables.items()}
+        dist = materialize(uc10_pipeline(handles))
+        local = materialize(uc10_pipeline(tables))
+        assert len(dist) == len(local)
+        np.testing.assert_allclose(
+            np.asarray(dist["amount"].values, float),
+            np.asarray(local["amount"].values, float),
+        )
+        session.close()
