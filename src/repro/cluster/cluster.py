@@ -39,6 +39,21 @@ class ClusterState:
         for worker in self.workers:
             self.actor_system.create_pool(worker.name)
 
+    @property
+    def n_bands(self) -> int:
+        return len(self.bands)
+
+    def executor_pool(self):
+        """The thread pool backing parallel subtask compute.
+
+        One logical slot per band is enforced by the dispatcher; the
+        underlying threads come from the process-wide band-runner pool,
+        so short-lived simulated clusters do not leak threads.
+        """
+        from ..core.dispatch import shared_pool
+
+        return shared_pool()
+
     def band_by_name(self, name: str) -> Band:
         for band in self.bands:
             if band.name == name:

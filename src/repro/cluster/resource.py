@@ -7,6 +7,7 @@ that dies when a real Dask/Modin/Ray worker OOMs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..errors import WorkerOutOfMemory
@@ -43,6 +44,10 @@ class MemoryTracker:
         self.limit = int(limit)
         self.used = 0
         self.peak = 0
+        # accounting happens on one thread at a time, but the parallel
+        # band runner makes "one at a time" a cross-thread property —
+        # keep the used/peak updates atomic.
+        self._lock = threading.Lock()
 
     @property
     def available(self) -> int:
@@ -55,25 +60,29 @@ class MemoryTracker:
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ValueError("cannot allocate negative bytes")
-        if self.used + nbytes > self.limit:
-            raise WorkerOutOfMemory(self.worker, nbytes, self.limit, self.used)
-        self.used += nbytes
-        self.peak = max(self.peak, self.used)
+        with self._lock:
+            if self.used + nbytes > self.limit:
+                raise WorkerOutOfMemory(self.worker, nbytes, self.limit,
+                                        self.used)
+            self.used += nbytes
+            self.peak = max(self.peak, self.used)
 
     def note_transient(self, nbytes: int) -> None:
         """Record a transient working set in the peak watermark without
         allocating it (execution scratch space that is gone afterwards)."""
-        self.peak = max(self.peak, self.used + max(int(nbytes), 0))
+        with self._lock:
+            self.peak = max(self.peak, self.used + max(int(nbytes), 0))
 
     def release(self, nbytes: int) -> None:
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ValueError("cannot release negative bytes")
-        if nbytes > self.used:
-            raise ValueError(
-                f"releasing {nbytes} bytes but only {self.used} are allocated"
-            )
-        self.used -= nbytes
+        with self._lock:
+            if nbytes > self.used:
+                raise ValueError(
+                    f"releasing {nbytes} bytes but only {self.used} are allocated"
+                )
+            self.used -= nbytes
 
 
 @dataclass

@@ -11,6 +11,7 @@ paper's wall-clock numbers do.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..config import CostModel
@@ -62,6 +63,11 @@ class SimClock:
         self.band_busy: dict[str, float] = {band.name: 0.0 for band in bands}
         self._bands = {band.name: band for band in bands}
         self.now = 0.0
+        # virtual time is advanced only by the (single) accounting
+        # thread, but the parallel band runner makes that a cross-thread
+        # invariant rather than a structural one — lock the mutations so
+        # a future concurrent accountant cannot corrupt the clocks.
+        self._lock = threading.Lock()
 
     def compute_cost(self, cpu_bytes: int, band: Band) -> float:
         """Virtual seconds of pure compute for a subtask on a band."""
@@ -76,12 +82,13 @@ class SimClock:
         ``ready_time``; returns the completion time."""
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        start = max(self.band_free[band.name], ready_time)
-        end = start + duration
-        self.band_free[band.name] = end
-        self.band_busy[band.name] += duration
-        self.now = max(self.now, end)
-        return end
+        with self._lock:
+            start = max(self.band_free[band.name], ready_time)
+            end = start + duration
+            self.band_free[band.name] = end
+            self.band_busy[band.name] += duration
+            self.now = max(self.now, end)
+            return end
 
     def earliest_free_band(self, bands: list[Band]) -> Band:
         """The band (among ``bands``) that frees up first."""
@@ -94,5 +101,6 @@ class SimClock:
 
     def charge_overhead(self, band: Band, seconds: float) -> None:
         """Serial overhead (graph dispatch etc.) charged to a band."""
-        self.band_free[band.name] += seconds
-        self.band_busy[band.name] += seconds
+        with self._lock:
+            self.band_free[band.name] += seconds
+            self.band_busy[band.name] += seconds

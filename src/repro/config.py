@@ -83,6 +83,12 @@ class Config:
     combine_stage: bool = True
     locality_scheduling: bool = True
     spill_to_disk: bool = True
+    #: run independent subtasks' kernels concurrently on a thread pool
+    #: with one logical slot per band (NumPy kernels release the GIL).
+    #: Virtual-time accounting stays deterministic: SimReport numbers are
+    #: identical in serial and parallel mode (see DESIGN.md §Execution
+    #: engine). The serial topological walk remains as fallback.
+    parallel_execution: bool = True
     #: release chunks once their last consumer ran (reference counting).
     #: Eager engines (Modin-like) materialize and pin every intermediate
     #: result instead — the accumulation that kills their workers at scale.

@@ -1,0 +1,247 @@
+"""Event-driven parallel subtask dispatch: the thread-pool band runner.
+
+The executor splits each subtask into two halves (see
+``GraphExecutor.execute``):
+
+- the **compute phase** — running the chunk operators' kernels against
+  real values — is embarrassingly parallel across independent subtasks
+  and is what this module schedules onto worker threads;
+- the **accounting phase** — storage puts/gets with transfer charging,
+  memory admission/spill, meta records, virtual-clock advances and
+  reference-count cleanup — stays on the caller's thread in
+  deterministic topological order, so ``SimReport`` numbers are
+  bit-identical whether the kernels ran serially or in parallel.
+
+The dispatcher is the classic event-driven ready queue of the paper's
+scheduling service (Section V-B): per-subtask indegree counters seed a
+ready set with zero-dependency subtasks; every completion decrements its
+successors and enqueues newly-ready work. Each *band* of the simulated
+cluster owns one logical execution slot — a band runs its assigned
+subtasks one at a time, in the scheduler's priority order, preserving
+the band assignment and locality decisions already made.
+
+NumPy kernels release the GIL, so chunk compute genuinely overlaps on
+multi-core hosts; pure-Python kernels still interleave safely.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from ..graph.dag import DAG
+from ..graph.subtask import Subtask
+
+# ---------------------------------------------------------------------------
+# shared worker pool
+# ---------------------------------------------------------------------------
+# One process-wide pool backs every simulated cluster: per-band slot
+# gating (below) bounds how much of it a single stage can occupy, and
+# sharing avoids leaking one pool per short-lived Session (the test
+# suite creates hundreds).
+
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+
+
+def shared_pool() -> ThreadPoolExecutor:
+    """The lazily-created process-wide band-runner thread pool."""
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=max(32, 4 * (os.cpu_count() or 1)),
+                thread_name_prefix="band-runner",
+            )
+        return _pool
+
+
+class SubtaskComputation:
+    """Kernel results of one subtask's compute phase.
+
+    Consumed by the accounting phase in place of calling
+    ``op.execute`` a second time.
+    """
+
+    __slots__ = ("op_results", "op_extra_meta", "outputs")
+
+    def __init__(self, op_results: dict[int, Any],
+                 op_extra_meta: dict[int, dict[str, dict]],
+                 outputs: dict[str, Any]):
+        #: ``id(op)`` -> the value returned by ``op.execute``.
+        self.op_results = op_results
+        #: ``id(op)`` -> the ``ExecContext.extra_meta`` it produced.
+        self.op_extra_meta = op_extra_meta
+        #: the subtask's output chunk values by key.
+        self.outputs = outputs
+
+
+class BandDispatcher:
+    """Ready-queue dispatcher with one logical slot per band.
+
+    ``compute`` is called on a pool thread with ``(subtask, inputs)``
+    where ``inputs`` maps every input key to its value; stage-produced
+    values come from the dispatcher's in-flight cache, anything older
+    from ``fetch`` (an accounting-free storage read).
+
+    The caller drains results in its own (topological) order via
+    :meth:`wait_for`; compute-phase exceptions are re-raised there, at
+    the failing subtask's position, so error surfacing matches the
+    serial walk.
+    """
+
+    def __init__(self, graph: DAG[Subtask], order: list[Subtask],
+                 compute: Callable[[Subtask, dict[str, Any]], SubtaskComputation],
+                 fetch: Callable[[str], Any],
+                 pool: ThreadPoolExecutor | None = None):
+        self._graph = graph
+        self._order = order
+        self._compute = compute
+        self._fetch = fetch
+        self._pool = pool if pool is not None else shared_pool()
+        self._lock = threading.Lock()
+        self._event = threading.Condition(self._lock)
+        self._position = {s.key: i for i, s in enumerate(order)}
+        self._indegree = {s.key: graph.in_degree(s) for s in order}
+        self._records: dict[str, SubtaskComputation] = {}
+        self._errors: dict[str, BaseException] = {}
+        #: band name -> heap of (priority, position, subtask) ready to run.
+        self._band_queues: dict[str, list[tuple[int, int, Subtask]]] = {}
+        self._band_busy: set[str] = set()
+        #: chunk values produced by this stage, kept while in-stage
+        #: consumers still need them for their compute phase.
+        self._values: dict[str, Any] = {}
+        self._value_consumers: dict[str, int] = {}
+        produced = {key for s in order for key in s.output_keys}
+        for subtask in order:
+            for key in subtask.input_keys:
+                if key in produced:
+                    self._value_consumers[key] = (
+                        self._value_consumers.get(key, 0) + 1
+                    )
+        self._inflight = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Seed the ready set and dispatch onto idle bands."""
+        with self._lock:
+            for subtask in self._order:
+                if self._indegree[subtask.key] == 0:
+                    self._enqueue(subtask)
+            self._dispatch_ready()
+
+    def wait_for(self, key: str) -> SubtaskComputation:
+        """Block until ``key``'s compute phase finished; re-raise its error."""
+        with self._event:
+            while key not in self._records and key not in self._errors:
+                self._event.wait()
+            error = self._errors.get(key)
+            if error is not None:
+                raise error
+            return self._records[key]
+
+    def discard(self, key: str) -> None:
+        """Drop a consumed record so intermediates can be collected."""
+        with self._lock:
+            self._records.pop(key, None)
+
+    def shutdown(self) -> None:
+        """Stop dispatching new work and wait for in-flight computes."""
+        with self._event:
+            self._stopped = True
+            while self._inflight > 0:
+                self._event.wait()
+            self._records.clear()
+            self._values.clear()
+            for queue in self._band_queues.values():
+                queue.clear()
+
+    # -- internals (all called with self._lock held) ---------------------
+    def _enqueue(self, subtask: Subtask) -> None:
+        band = subtask.band or ""
+        queue = self._band_queues.setdefault(band, [])
+        heapq.heappush(
+            queue,
+            (subtask.priority, self._position[subtask.key], subtask),
+        )
+
+    def _dispatch_ready(self) -> None:
+        if self._stopped:
+            return
+        for band, queue in self._band_queues.items():
+            if queue and band not in self._band_busy:
+                _, _, subtask = heapq.heappop(queue)
+                self._band_busy.add(band)
+                self._inflight += 1
+                self._pool.submit(self._run, subtask)
+
+    # -- pool-thread side -------------------------------------------------
+    def _run(self, subtask: Subtask) -> None:
+        record: SubtaskComputation | None = None
+        error: BaseException | None = None
+        try:
+            inputs = self._gather(subtask)
+            record = self._compute(subtask, inputs)
+        except BaseException as exc:  # noqa: BLE001 — re-raised in wait_for
+            error = exc
+        self._complete(subtask, record, error)
+
+    def _gather(self, subtask: Subtask) -> dict[str, Any]:
+        inputs: dict[str, Any] = {}
+        missing: list[str] = []
+        with self._lock:
+            for key in subtask.input_keys:
+                if key in self._values:
+                    inputs[key] = self._values[key]
+                else:
+                    missing.append(key)
+        for key in missing:
+            inputs[key] = self._fetch(key)
+        return inputs
+
+    def _complete(self, subtask: Subtask,
+                  record: SubtaskComputation | None,
+                  error: BaseException | None) -> None:
+        with self._event:
+            self._inflight -= 1
+            self._band_busy.discard(subtask.band or "")
+            if error is None:
+                assert record is not None
+                try:
+                    self._records[subtask.key] = record
+                    for key, value in record.outputs.items():
+                        if self._value_consumers.get(key, 0) > 0:
+                            self._values[key] = value
+                    for key in subtask.input_keys:
+                        remaining = self._value_consumers.get(key)
+                        if remaining is not None:
+                            remaining -= 1
+                            self._value_consumers[key] = remaining
+                            if remaining <= 0:
+                                self._values.pop(key, None)
+                    for succ in self._graph.successors(subtask):
+                        self._indegree[succ.key] -= 1
+                        if self._indegree[succ.key] == 0:
+                            self._enqueue(succ)
+                except BaseException as exc:  # noqa: BLE001 — surfaced in wait_for
+                    self._records.pop(subtask.key, None)
+                    error = exc
+            if error is not None:
+                self._fail(subtask, error)
+            self._dispatch_ready()
+            self._event.notify_all()
+
+    def _fail(self, subtask: Subtask, error: BaseException) -> None:
+        # Descendants can never become ready (their indegree never hits
+        # zero); mark them with the same error so wait_for does not hang.
+        stack = [subtask]
+        while stack:
+            node = stack.pop()
+            if node.key in self._errors:
+                continue
+            self._errors[node.key] = error
+            stack.extend(self._graph.successors(node))

@@ -9,6 +9,13 @@ advances the per-band virtual clocks.
 
 Real values are computed in-process; *time* is simulated — see
 ``repro.cluster.simulation``.
+
+With ``config.parallel_execution`` on, kernel execution is split off
+into an event-driven compute phase that runs independent subtasks
+concurrently on the band-runner thread pool (``repro.core.dispatch``),
+while this module's accounting walk stays in deterministic topological
+order and consumes the precomputed results — so the simulated numbers
+are identical in both modes and only wall-clock time changes.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from ..graph.entity import ChunkData
 from ..graph.subtask import Subtask, build_subtask_graph
 from ..storage.service import StorageService
 from ..utils import sizeof
+from .dispatch import BandDispatcher, SubtaskComputation
 from .fusion import fusion_groups, singleton_groups
 from .meta import MetaService
 from .operator import ExecContext
@@ -54,14 +62,23 @@ class GraphExecutor:
         self._pending_extra: dict[str, dict] = {}
         #: chunk key -> is a tileable-boundary (user-visible) chunk.
         self._terminal_keys: dict[str, bool] = {}
+        #: tri-state override of ``config.parallel_execution`` for every
+        #: stage this executor runs (None = follow the config). Sessions
+        #: set it so dynamic-tiling yield executions use the same mode as
+        #: the final pass.
+        self.parallel_mode: bool | None = None
 
     # ------------------------------------------------------------------
     def execute(self, chunk_graph: DAG[ChunkData],
-                retain_keys: set[str] | None = None) -> SimReport:
+                retain_keys: set[str] | None = None,
+                parallel: bool | None = None) -> SimReport:
         """Run every not-yet-materialized chunk of ``chunk_graph``.
 
         ``retain_keys`` are protected from the reference-count cleanup
         (results the session or a later tiling stage will read).
+        ``parallel`` overrides the execution mode for this stage; by
+        default :attr:`parallel_mode`, then ``config.parallel_execution``
+        decide.
         """
         retain = set(retain_keys or ())
         for node in chunk_graph.nodes():
@@ -98,12 +115,22 @@ class GraphExecutor:
             raise ExecutionHang(
                 "repro", f"subtask graph of {len(order)} nodes exceeds step budget"
             )
-        for subtask in order:
-            end = self._run_subtask(
-                subtask, subtask_graph, completion, base_time, retain,
+        if parallel is None:
+            parallel = self.parallel_mode
+        if parallel is None:
+            parallel = self.config.parallel_execution
+        if parallel and len(order) > 1:
+            self._execute_parallel(
+                order, subtask_graph, completion, base_time, retain,
                 consumers, stage,
             )
-            completion[subtask.key] = end
+        else:
+            for subtask in order:
+                end = self._run_subtask(
+                    subtask, subtask_graph, completion, base_time, retain,
+                    consumers, stage,
+                )
+                completion[subtask.key] = end
         stage.makespan = max(completion.values()) if completion else base_time
         stage.n_subtasks = len(order)
         stage.peak_memory = self.cluster.peak_memory()
@@ -112,14 +139,91 @@ class GraphExecutor:
         return stage
 
     # ------------------------------------------------------------------
+    def _execute_parallel(self, order: list[Subtask], graph: DAG[Subtask],
+                          completion: dict[str, float], base_time: float,
+                          retain: set[str], consumers: dict[str, int],
+                          stage: SimReport) -> None:
+        """Event-driven kernel execution + deterministic accounting.
+
+        Pool threads run ``_compute_subtask`` as dependencies resolve
+        (one logical slot per band); this thread drains the results in
+        topological order and performs the exact accounting the serial
+        walk would, so every ``SimReport`` field matches serial mode.
+        """
+        dispatcher = BandDispatcher(
+            graph, order, self._compute_subtask, self.storage.peek_value,
+            pool=self.cluster.executor_pool(),
+        )
+        dispatcher.start()
+        try:
+            for subtask in order:
+                computed = dispatcher.wait_for(subtask.key)
+                end = self._run_subtask(
+                    subtask, graph, completion, base_time, retain,
+                    consumers, stage, computed=computed,
+                )
+                completion[subtask.key] = end
+                dispatcher.discard(subtask.key)
+        finally:
+            dispatcher.shutdown()
+
+    def _compute_subtask(self, subtask: Subtask,
+                         inputs: dict[str, Any]) -> SubtaskComputation:
+        """Compute phase: run the subtask's kernels against real values.
+
+        Runs on a band-runner pool thread. Touches no shared service —
+        all storage/meta/clock/memory effects happen later, in the
+        accounting phase on the dispatching thread.
+        """
+        env: dict[str, Any] = dict(inputs)
+        steps = plan_subtask(subtask, enable=self.config.operator_fusion)
+        executed_ops: set[int] = set()
+        op_results: dict[int, Any] = {}
+        op_extra: dict[int, dict[str, dict]] = {}
+        for step in steps:
+            for chunk in step:
+                op = chunk.op
+                if op is None or id(op) in executed_ops:
+                    continue
+                executed_ops.add(id(op))
+                ctx = ExecContext(env, self.config)
+                result = op.execute(ctx)
+                if isinstance(result, dict) and result and all(
+                    k in {o.key for o in op.outputs} for k in result
+                ):
+                    env.update(result)
+                else:
+                    env[op.outputs[0].key] = result
+                op_results[id(op)] = result
+                op_extra[id(op)] = {
+                    key: dict(extra) for key, extra in ctx.extra_meta.items()
+                }
+        outputs = {
+            key: env[key] for key in subtask.output_keys if key in env
+        }
+        return SubtaskComputation(op_results, op_extra, outputs)
+
+    # ------------------------------------------------------------------
     def _run_subtask(self, subtask: Subtask, graph: DAG[Subtask],
                      completion: dict[str, float], base_time: float,
                      retain: set[str], consumers: dict[str, int],
-                     stage: SimReport) -> float:
+                     stage: SimReport,
+                     computed: SubtaskComputation | None = None) -> float:
         band = self.cluster.band_by_name(subtask.band)
         worker = band.worker
         tracker = self.cluster.memory[worker]
         cost = self.config.cost_model
+
+        # sizeof is recursive and the same env value is sized at
+        # step-input, step-output, release and output-store time — cache
+        # it per env key for the lifetime of this subtask.
+        sizes: dict[str, int] = {}
+
+        def sized(key: str, value: Any) -> int:
+            nbytes = sizes.get(key)
+            if nbytes is None:
+                nbytes = sizes[key] = sizeof(value)
+            return nbytes
 
         # -- gather inputs --------------------------------------------------
         env: dict[str, Any] = {}
@@ -132,6 +236,7 @@ class GraphExecutor:
         for key in subtask.input_keys:
             info = self.storage.get(key, worker)
             env[key] = info.value
+            sizes[key] = info.nbytes
             input_bytes += info.nbytes
             transferred += info.transferred_bytes
             if info.tier_penalty > 1.0:
@@ -163,33 +268,40 @@ class GraphExecutor:
                 remaining_consumers[dep.key] += 1
         for step in steps:
             step_inputs, step_outputs = step_io_keys(step)
-            step_in_bytes = sum(sizeof(env[k]) for k in step_inputs if k in env)
+            step_in_bytes = sum(
+                sized(k, env[k]) for k in step_inputs if k in env
+            )
             for chunk in step:
                 op = chunk.op
                 if op is None or id(op) in executed_ops:
                     continue
                 executed_ops.add(id(op))
-                ctx = ExecContext(env, self.config)
-                result = op.execute(ctx)
+                if computed is None:
+                    ctx = ExecContext(env, self.config)
+                    result = op.execute(ctx)
+                    extra_meta = ctx.extra_meta
+                else:
+                    result = computed.op_results[id(op)]
+                    extra_meta = computed.op_extra_meta.get(id(op), {})
                 if isinstance(result, dict) and result and all(
                     k in {o.key for o in op.outputs} for k in result
                 ):
                     env.update(result)
-                    env_bytes += sum(sizeof(v) for v in result.values())
+                    env_bytes += sum(sized(k, v) for k, v in result.items())
                 else:
                     env[op.outputs[0].key] = result
-                    env_bytes += sizeof(result)
+                    env_bytes += sized(op.outputs[0].key, result)
                 env_peak = max(env_peak, env_bytes)
                 for dep in op.inputs:
                     remaining_consumers[dep.key] -= 1
                     if (remaining_consumers[dep.key] <= 0
                             and dep.key not in output_key_set
                             and dep.key in env):
-                        env_bytes -= sizeof(env.pop(dep.key))
-                for meta_key, extra in ctx.extra_meta.items():
+                        env_bytes -= sized(dep.key, env.pop(dep.key))
+                for meta_key, extra in extra_meta.items():
                     self._pending_extra.setdefault(meta_key, {}).update(extra)
             step_out_bytes = sum(
-                sizeof(env[k]) for k in step_outputs if k in env
+                sized(k, env[k]) for k in step_outputs if k in env
             )
             shuffle_factor = 1.0
             if any(c.op is not None and c.op.is_shuffle_map for c in step):
@@ -202,7 +314,7 @@ class GraphExecutor:
 
         # -- memory admission --------------------------------------------------
         output_bytes = sum(
-            sizeof(env[key]) for key in subtask.output_keys if key in env
+            sized(key, env[key]) for key in subtask.output_keys if key in env
         )
         working_set = int(self.config.peak_factor * max(
             env_peak, input_bytes + output_bytes
@@ -219,7 +331,7 @@ class GraphExecutor:
         for key in subtask.output_keys:
             if key not in env:
                 raise KeyError(f"subtask produced no value for output {key!r}")
-            self.storage.put(key, env[key], worker)
+            self.storage.put(key, env[key], worker, nbytes=sizes.get(key))
             extra = self._pending_extra.pop(key, None)
             self.meta.set_from_value(key, env[key], extra=extra)
 

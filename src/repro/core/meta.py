@@ -9,6 +9,7 @@ the pipeline — reduce-algorithm selection, auto merge, and iterative
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -56,37 +57,49 @@ def meta_from_value(value: Any, extra: dict | None = None) -> ChunkMeta:
 
 
 class MetaService:
-    """Keyed store of chunk metadata, readable during tiling."""
+    """Keyed store of chunk metadata, readable during tiling.
+
+    Access is locked: metadata is written by the executor's accounting
+    walk while tiling code (and, under parallel execution, band-runner
+    threads via operator ``tile``/``execute`` hooks) may read it.
+    """
 
     def __init__(self):
         self._metas: dict[str, ChunkMeta] = {}
+        self._lock = threading.RLock()
 
     def set(self, key: str, meta: ChunkMeta) -> None:
-        self._metas[key] = meta
+        with self._lock:
+            self._metas[key] = meta
 
     def set_from_value(self, key: str, value: Any,
                        extra: dict | None = None) -> ChunkMeta:
         meta = meta_from_value(value, extra=extra)
-        self._metas[key] = meta
+        with self._lock:
+            self._metas[key] = meta
         return meta
 
     def get(self, key: str) -> Optional[ChunkMeta]:
-        return self._metas.get(key)
+        with self._lock:
+            return self._metas.get(key)
 
     def require(self, key: str) -> ChunkMeta:
-        meta = self._metas.get(key)
+        meta = self.get(key)
         if meta is None:
             raise KeyError(f"no meta recorded for chunk {key!r}")
         return meta
 
     def has(self, key: str) -> bool:
-        return key in self._metas
+        with self._lock:
+            return key in self._metas
 
     def update_extra(self, key: str, **extra: Any) -> None:
-        self.require(key).extra.update(extra)
+        with self._lock:
+            self.require(key).extra.update(extra)
 
     def delete(self, key: str) -> None:
-        self._metas.pop(key, None)
+        with self._lock:
+            self._metas.pop(key, None)
 
     def __len__(self) -> int:
         return len(self._metas)

@@ -41,12 +41,19 @@ class Scheduler:
 
     def assign(self, graph: DAG[Subtask],
                input_nbytes: dict[str, int] | None = None) -> None:
-        """Set ``subtask.band`` for every node of ``graph``."""
+        """Set ``subtask.band`` and ``subtask.priority`` for every node.
+
+        ``priority`` is the subtask's topological position: the parallel
+        band runner uses it to drain each band's ready queue in the same
+        order the serial walk would reach the work, keeping dispatch
+        deterministic.
+        """
         input_nbytes = input_nbytes or {}
         bands = [band.name for band in self.cluster.bands]
         if not bands:
             raise SchedulingError("cluster has no bands")
-        for subtask in graph.topological_order():
+        for position, subtask in enumerate(graph.topological_order()):
+            subtask.priority = position
             preds = graph.predecessors(subtask)
             has_located_input = any(
                 key in self.chunk_band for key in subtask.input_keys

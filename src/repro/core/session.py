@@ -86,8 +86,16 @@ class Session:
         self.last_report = RunReport()
 
     # ------------------------------------------------------------------
-    def execute(self, *tileables: TileableData) -> list[Any]:
-        """Materialize the given tileables; returns their full values."""
+    def execute(self, *tileables: TileableData,
+                parallel: bool | None = None) -> list[Any]:
+        """Materialize the given tileables; returns their full values.
+
+        ``parallel`` overrides ``config.parallel_execution`` for this
+        call — including the dynamic-tiling yield executions, which run
+        under the same mode so tiling stages synchronize identically
+        (every stage's execute returns only after its accounting walk
+        drained the band runner).
+        """
         if self.closed:
             raise SessionError(f"session {self.session_id} is closed")
         if not tileables:
@@ -101,14 +109,20 @@ class Session:
         nodes0 = self.executor.report.n_graph_nodes
         shuffle0 = self.executor.report.total_shuffle_bytes
 
-        graph = build_tileable_graph(list(tileables))
-        if self.config.column_pruning:
-            prune_columns(graph, list(tileables))
-        chunk_graph = self.tiler.tile(graph, list(tileables))
-        retain = {
-            chunk.key for t in tileables for chunk in t.chunks
-        }
-        self.executor.execute(chunk_graph, retain_keys=retain)
+        previous_mode = self.executor.parallel_mode
+        if parallel is not None:
+            self.executor.parallel_mode = parallel
+        try:
+            graph = build_tileable_graph(list(tileables))
+            if self.config.column_pruning:
+                prune_columns(graph, list(tileables))
+            chunk_graph = self.tiler.tile(graph, list(tileables))
+            retain = {
+                chunk.key for t in tileables for chunk in t.chunks
+            }
+            self.executor.execute(chunk_graph, retain_keys=retain)
+        finally:
+            self.executor.parallel_mode = previous_mode
 
         self.last_report = RunReport(
             makespan=self.cluster.clock.makespan - t0,

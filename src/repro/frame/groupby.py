@@ -36,12 +36,22 @@ def factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     mask = dtypes.isna_array(values)
     if dtypes.is_object(values.dtype):
         kept = values[~mask]
-        uniques_list = sorted(set(kept.tolist()), key=_mixed_key)
-        mapping = {v: i for i, v in enumerate(uniques_list)}
+        # single pass: provisional codes in first-seen order (O(n) dict
+        # ops), then sort only the much smaller unique set and remap the
+        # provisional codes vectorized — instead of a second Python-level
+        # pass resolving every row through a mapping dict.
+        first_seen: dict = {}
+        provisional = np.fromiter(
+            (first_seen.setdefault(v, len(first_seen)) for v in kept.tolist()),
+            dtype=np.int64, count=len(kept),
+        )
+        uniques_list = sorted(first_seen, key=_mixed_key)
+        remap = np.empty(len(uniques_list), dtype=np.int64)
+        for sorted_pos, value in enumerate(uniques_list):
+            remap[first_seen[value]] = sorted_pos
         codes = np.full(len(values), -1, dtype=np.int64)
-        for i, value in enumerate(values):
-            if not mask[i]:
-                codes[i] = mapping[value]
+        if len(kept):
+            codes[~mask] = remap[provisional]
         uniques = np.array(uniques_list, dtype=object)
         return codes, uniques
     uniques, inverse = np.unique(values[~mask], return_inverse=True)

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from .base import StorageBackend, StorageLevel
+import threading
+
+from .base import StorageBackend, StorageLevel, StoredItem
 
 
 class MemoryBackend(StorageBackend):
@@ -11,6 +13,34 @@ class MemoryBackend(StorageBackend):
     Capacity enforcement lives in the worker's
     :class:`~repro.cluster.resource.MemoryTracker`, not here: the backend
     mirrors shared memory, which fails at allocation time.
+
+    The store is internally locked: the accounting walk mutates it while
+    the parallel band runner's compute phase may be peeking values of
+    earlier stages through the storage service.
     """
 
     level = StorageLevel.MEMORY
+
+    def __init__(self):
+        super().__init__()
+        self._items_lock = threading.RLock()
+
+    def put(self, item: StoredItem) -> None:
+        with self._items_lock:
+            self._items[item.key] = item
+
+    def get(self, key: str) -> StoredItem:
+        with self._items_lock:
+            return self._items[key]
+
+    def delete(self, key: str) -> StoredItem:
+        with self._items_lock:
+            return self._items.pop(key)
+
+    def keys(self) -> list[str]:
+        with self._items_lock:
+            return list(self._items)
+
+    def total_bytes(self) -> int:
+        with self._items_lock:
+            return sum(item.nbytes for item in self._items.values())

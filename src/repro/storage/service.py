@@ -15,6 +15,7 @@ Responsibilities (Section V-C):
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any
 
@@ -34,6 +35,11 @@ class StorageService:
     def __init__(self, cluster: ClusterState, config: Config | None = None):
         self.cluster = cluster
         self.config = config if config is not None else cluster.config
+        #: guards every location/LRU/backend mutation: the accounting
+        #: walk owns all *charged* accesses, but the parallel band
+        #: runner's compute phase peeks values concurrently (and a spill
+        #: may move the peeked item between tiers mid-read).
+        self._lock = threading.RLock()
         self._memory: dict[str, MemoryBackend] = {}
         self._disk: dict[str, DiskBackend] = {}
         self._lru: dict[str, OrderedDict[str, None]] = {}
@@ -49,40 +55,50 @@ class StorageService:
 
     # -- writes -----------------------------------------------------------
     def put(self, key: str, value: Any, worker: str,
-            level: StorageLevel = StorageLevel.MEMORY) -> int:
+            level: StorageLevel = StorageLevel.MEMORY,
+            nbytes: int | None = None) -> int:
         """Store ``value`` under ``key`` on ``worker``; returns its size.
 
         A put to MEMORY that does not fit triggers LRU spill-to-disk when
-        enabled, otherwise the worker's OOM error propagates.
+        enabled, otherwise the worker's OOM error propagates. Callers
+        that already sized the value pass ``nbytes`` to skip the
+        recursive ``sizeof``.
         """
-        if key in self._locations:
-            self.delete(key)
-        nbytes = sizeof(value)
-        if level == StorageLevel.REMOTE:
-            self._remote.put(StoredItem(key, value, nbytes, level, ""))
-            self._locations[key] = ("", StorageLevel.REMOTE)
+        with self._lock:
+            if key in self._locations:
+                self.delete(key)
+            if nbytes is None:
+                nbytes = sizeof(value)
+            if level == StorageLevel.REMOTE:
+                self._remote.put(StoredItem(key, value, nbytes, level, ""))
+                self._locations[key] = ("", StorageLevel.REMOTE)
+                return nbytes
+            if level == StorageLevel.DISK:
+                self._disk[worker].put(
+                    StoredItem(key, value, nbytes, level, worker)
+                )
+                self._locations[key] = (worker, StorageLevel.DISK)
+                return nbytes
+            tracker = self.cluster.memory[worker]
+            if not tracker.can_fit(nbytes):
+                if self.config.spill_to_disk:
+                    self._spill_until_fits(worker, nbytes)
+                # retry; raises WorkerOutOfMemory if still too large
+            tracker.allocate(nbytes)
+            self._memory[worker].put(
+                StoredItem(key, value, nbytes, level, worker)
+            )
+            self._lru[worker][key] = None
+            self._locations[key] = (worker, StorageLevel.MEMORY)
             return nbytes
-        if level == StorageLevel.DISK:
-            self._disk[worker].put(StoredItem(key, value, nbytes, level, worker))
-            self._locations[key] = (worker, StorageLevel.DISK)
-            return nbytes
-        tracker = self.cluster.memory[worker]
-        if not tracker.can_fit(nbytes):
-            if self.config.spill_to_disk:
-                self._spill_until_fits(worker, nbytes)
-            # retry; raises WorkerOutOfMemory if still too large
-        tracker.allocate(nbytes)
-        self._memory[worker].put(StoredItem(key, value, nbytes, level, worker))
-        self._lru[worker][key] = None
-        self._locations[key] = (worker, StorageLevel.MEMORY)
-        return nbytes
 
     def ensure_free(self, worker: str, nbytes: int) -> None:
         """Spill until ``nbytes`` can be allocated on ``worker``.
 
         Raises :class:`WorkerOutOfMemory` when spilling cannot make room.
         """
-        self._spill_until_fits(worker, nbytes)
+        with self._lock:
+            self._spill_until_fits(worker, nbytes)
 
     def _spill_until_fits(self, worker: str, nbytes: int) -> None:
         """Move least-recently-used chunks of ``worker`` to its disk tier."""
@@ -107,61 +123,79 @@ class StorageService:
         the network (zero for a local read) and the tier penalty (the cost
         model's ``disk_penalty`` for a spilled chunk).
         """
-        location = self._locations.get(key)
-        if location is None:
-            raise StorageKeyError(key)
-        worker, level = location
-        if level == StorageLevel.REMOTE:
-            item = self._remote.get(key)
-            self.total_transferred_bytes += item.nbytes
-            return AccessInfo(item.value, item.nbytes,
-                              transferred_bytes=item.nbytes,
-                              tier_penalty=self.config.cost_model.disk_penalty,
-                              source_worker="<remote>")
-        if level == StorageLevel.DISK:
-            item = self._disk[worker].get(key)
+        with self._lock:
+            location = self._locations.get(key)
+            if location is None:
+                raise StorageKeyError(key)
+            worker, level = location
+            if level == StorageLevel.REMOTE:
+                item = self._remote.get(key)
+                self.total_transferred_bytes += item.nbytes
+                return AccessInfo(item.value, item.nbytes,
+                                  transferred_bytes=item.nbytes,
+                                  tier_penalty=self.config.cost_model.disk_penalty,
+                                  source_worker="<remote>")
+            if level == StorageLevel.DISK:
+                item = self._disk[worker].get(key)
+                transferred = item.nbytes if worker != requesting_worker else 0
+                self.total_transferred_bytes += transferred
+                return AccessInfo(item.value, item.nbytes,
+                                  transferred_bytes=transferred,
+                                  tier_penalty=self.config.cost_model.disk_penalty,
+                                  source_worker=worker)
+            item = self._memory[worker].get(key)
+            self._lru[worker].move_to_end(key)
             transferred = item.nbytes if worker != requesting_worker else 0
             self.total_transferred_bytes += transferred
             return AccessInfo(item.value, item.nbytes,
                               transferred_bytes=transferred,
-                              tier_penalty=self.config.cost_model.disk_penalty,
                               source_worker=worker)
-        item = self._memory[worker].get(key)
-        self._lru[worker].move_to_end(key)
-        transferred = item.nbytes if worker != requesting_worker else 0
-        self.total_transferred_bytes += transferred
-        return AccessInfo(item.value, item.nbytes,
-                          transferred_bytes=transferred,
-                          source_worker=worker)
 
     def peek(self, key: str) -> Any:
         """Read a value without charging transfers (driver-side fetches)."""
         return self.get(key, requesting_worker="<driver>").value
+
+    def peek_value(self, key: str) -> Any:
+        """Accounting-free read: no transfer charge, no LRU touch.
+
+        The parallel band runner's compute phase uses this — the charged
+        ``get`` for the same key happens later, on the accounting thread,
+        in deterministic order.
+        """
+        with self._lock:
+            location = self._locations.get(key)
+            if location is None:
+                raise StorageKeyError(key)
+            worker, level = location
+            return self._backend_for(worker, level).get(key).value
 
     # -- bookkeeping --------------------------------------------------------
     def contains(self, key: str) -> bool:
         return key in self._locations
 
     def location_of(self, key: str) -> tuple[str, StorageLevel]:
-        if key not in self._locations:
-            raise StorageKeyError(key)
-        return self._locations[key]
+        with self._lock:
+            if key not in self._locations:
+                raise StorageKeyError(key)
+            return self._locations[key]
 
     def nbytes_of(self, key: str) -> int:
-        worker, level = self.location_of(key)
-        backend = self._backend_for(worker, level)
-        return backend.get(key).nbytes
+        with self._lock:
+            worker, level = self.location_of(key)
+            backend = self._backend_for(worker, level)
+            return backend.get(key).nbytes
 
     def delete(self, key: str) -> None:
-        location = self._locations.pop(key, None)
-        if location is None:
-            return
-        worker, level = location
-        backend = self._backend_for(worker, level)
-        item = backend.delete(key)
-        if level == StorageLevel.MEMORY:
-            self.cluster.memory[worker].release(item.nbytes)
-            self._lru[worker].pop(key, None)
+        with self._lock:
+            location = self._locations.pop(key, None)
+            if location is None:
+                return
+            worker, level = location
+            backend = self._backend_for(worker, level)
+            item = backend.delete(key)
+            if level == StorageLevel.MEMORY:
+                self.cluster.memory[worker].release(item.nbytes)
+                self._lru[worker].pop(key, None)
 
     def _backend_for(self, worker: str, level: StorageLevel) -> StorageBackend:
         if level == StorageLevel.REMOTE:
@@ -180,5 +214,6 @@ class StorageService:
         return self._memory[worker].keys() + self._disk[worker].keys()
 
     def clear(self) -> None:
-        for key in list(self._locations):
-            self.delete(key)
+        with self._lock:
+            for key in list(self._locations):
+                self.delete(key)

@@ -1,0 +1,209 @@
+"""Concurrent-correctness tests for the event-driven parallel executor.
+
+The contract under test (see DESIGN.md §Execution engine): parallel mode
+may only change *wall-clock* behaviour. Results must be byte-identical
+to serial mode, every ``SimReport`` field must match exactly, and the
+reference-count cleanup must free each non-retained chunk exactly once.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.config import Config
+from repro.core import Session
+from repro.core.dispatch import BandDispatcher, shared_pool
+from repro.storage.service import StorageService
+from repro import frame as pf
+from repro.dataframe import from_frame
+from repro.tensor import rand
+
+
+WIDE_SHAPE = (8192, 8)  # 512 KiB of float64
+WIDE_CHUNK_LIMIT = 8192  # bytes -> 64 row chunks of 128 rows
+
+
+def make_session(parallel: bool, chunk_limit: int = WIDE_CHUNK_LIMIT) -> Session:
+    cfg = Config()
+    cfg.chunk_store_limit = chunk_limit
+    cfg.parallel_execution = parallel
+    return Session(cfg)
+
+
+def report_tuple(session: Session):
+    report = session.executor.report
+    return (
+        report.makespan,
+        report.total_compute_seconds,
+        report.total_transfer_bytes,
+        report.total_shuffle_bytes,
+        report.n_subtasks,
+        report.n_graph_nodes,
+        dict(report.peak_memory),
+        dict(report.band_busy),
+    )
+
+
+def wide_fanout_result(session: Session) -> np.ndarray:
+    """A ≥64-chunk embarrassingly parallel graph plus a reduction."""
+    t = rand(*WIDE_SHAPE, seed=7, session=session)
+    out = (t * 2.0 + 1.0).sum()
+    return np.asarray(out.fetch())
+
+
+class TestWideFanout:
+    def test_graph_is_actually_wide(self):
+        with make_session(parallel=True) as session:
+            wide_fanout_result(session)
+            assert session.executor.report.n_subtasks >= 64
+
+    def test_results_byte_identical_to_serial(self):
+        with make_session(parallel=False) as serial:
+            expected = wide_fanout_result(serial)
+            serial_report = report_tuple(serial)
+        with make_session(parallel=True) as parallel:
+            actual = wide_fanout_result(parallel)
+            parallel_report = report_tuple(parallel)
+        assert actual.tobytes() == expected.tobytes()
+        assert parallel_report == serial_report
+
+    def test_refcount_frees_each_key_exactly_once(self, monkeypatch):
+        removed: Counter = Counter()
+        original_delete = StorageService.delete
+
+        def counting_delete(self, key):
+            if self.contains(key):
+                removed[key] += 1
+            original_delete(self, key)
+
+        monkeypatch.setattr(StorageService, "delete", counting_delete)
+        with make_session(parallel=True) as session:
+            t = rand(*WIDE_SHAPE, seed=7, session=session)
+            result = (t * 2.0 + 1.0).sum()
+            result.fetch()
+            retained = {chunk.key for chunk in result.data.chunks}
+            resident = {
+                key
+                for worker in session.cluster.memory
+                for key in session.storage.keys_on(worker)
+            }
+        # no double-delete:
+        doubles = {key: n for key, n in removed.items() if n > 1}
+        assert not doubles, f"keys freed more than once: {doubles}"
+        # no leak: only the retained (user-visible) chunks stay resident.
+        assert resident == retained
+        # the cleanup actually ran over the wide stage
+        assert len(removed) >= 64
+
+
+class TestDataFrameDeterminism:
+    def _pipeline(self, session: Session):
+        rng = np.random.default_rng(11)
+        local = pf.DataFrame({
+            "k": rng.integers(0, 9, 600),
+            "v": rng.normal(size=600),
+            "w": rng.normal(size=600),
+        })
+        df = from_frame(local, session)
+        agg = df.groupby("k").agg({"v": "mean", "w": "sum"})
+        return agg.fetch()
+
+    def test_simreport_identical_with_dynamic_tiling(self):
+        with make_session(parallel=False, chunk_limit=4000) as serial:
+            expected = self._pipeline(serial)
+            serial_report = report_tuple(serial)
+        with make_session(parallel=True, chunk_limit=4000) as parallel:
+            actual = self._pipeline(parallel)
+            parallel_report = report_tuple(parallel)
+        assert actual.equals(expected)
+        assert parallel_report == serial_report
+
+    def test_per_call_override_beats_config(self):
+        with make_session(parallel=True, chunk_limit=4000) as session:
+            rng = np.random.default_rng(3)
+            local = pf.DataFrame({"k": rng.integers(0, 5, 200),
+                                  "v": rng.normal(size=200)})
+            df = from_frame(local, session)
+            doubled = df["v"] * 2
+            (value,) = session.execute(doubled.data, parallel=False)
+            assert np.allclose(
+                np.asarray(value.to_numpy()),
+                np.asarray(local["v"].to_numpy()) * 2,
+            )
+
+
+class TestErrorPropagation:
+    def test_kernel_error_surfaces_in_both_modes(self):
+        def boom(block):
+            raise ValueError("kernel exploded")
+
+        errors = {}
+        for mode in (False, True):
+            with make_session(parallel=mode) as session:
+                t = rand(1024, 4, seed=1, session=session)
+                bad = t.map_blocks(boom, out_cols=4)
+                with pytest.raises(ValueError) as excinfo:
+                    bad.fetch()
+                errors[mode] = str(excinfo.value)
+        assert errors[False] == errors[True] == "kernel exploded"
+
+    def test_failure_does_not_poison_next_execution(self):
+        def boom(block):
+            raise ValueError("kernel exploded")
+
+        with make_session(parallel=True) as session:
+            t = rand(1024, 4, seed=1, session=session)
+            with pytest.raises(ValueError):
+                t.map_blocks(boom, out_cols=4).fetch()
+            ok = (rand(1024, 4, seed=2, session=session) + 1.0).sum()
+            assert np.isfinite(float(np.asarray(ok.fetch())))
+
+
+class TestDispatcherInternals:
+    def test_shared_pool_is_singleton(self):
+        assert shared_pool() is shared_pool()
+
+    def test_band_slots_serialize_per_band(self):
+        """Two subtasks on one band never run concurrently."""
+        import threading
+        import time
+
+        from repro.core.dispatch import SubtaskComputation
+        from repro.graph.dag import DAG
+        from repro.graph.entity import ChunkData
+        from repro.graph.subtask import Subtask
+
+        running = set()
+        overlaps = []
+        lock = threading.Lock()
+
+        def compute(subtask, inputs):
+            with lock:
+                if subtask.band in running:
+                    overlaps.append(subtask.key)
+                running.add(subtask.band)
+            time.sleep(0.01)
+            with lock:
+                running.discard(subtask.band)
+            return SubtaskComputation({}, {}, {})
+
+        graph: DAG = DAG()
+        order = []
+        for i in range(6):
+            chunk = ChunkData("tensor", (1,), index=(i,))
+            subtask = Subtask([chunk])
+            subtask.band = f"worker-0/band-{i % 2}"
+            subtask.priority = i
+            graph.add_node(subtask)
+            order.append(subtask)
+        dispatcher = BandDispatcher(
+            graph, order, compute, fetch=lambda key: None,
+        )
+        dispatcher.start()
+        try:
+            for subtask in order:
+                dispatcher.wait_for(subtask.key)
+        finally:
+            dispatcher.shutdown()
+        assert not overlaps
