@@ -26,6 +26,8 @@ class SimReport:
     total_compute_seconds: float = 0.0
     total_transfer_bytes: int = 0
     total_shuffle_bytes: int = 0
+    #: rows folded away by mapper-side combine before shuffle writes.
+    combine_dropped_rows: int = 0
     n_subtasks: int = 0
     n_graph_nodes: int = 0
     peak_memory: dict[str, int] = field(default_factory=dict)
@@ -44,6 +46,7 @@ class SimReport:
         self.total_compute_seconds += other.total_compute_seconds
         self.total_transfer_bytes += other.total_transfer_bytes
         self.total_shuffle_bytes += other.total_shuffle_bytes
+        self.combine_dropped_rows += other.combine_dropped_rows
         self.n_subtasks += other.n_subtasks
         self.n_graph_nodes += other.n_graph_nodes
         for worker, peak in other.peak_memory.items():

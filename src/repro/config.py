@@ -89,6 +89,21 @@ class Config:
     #: identical in serial and parallel mode (see DESIGN.md §Execution
     #: engine). The serial topological walk remains as fallback.
     parallel_execution: bool = True
+    #: below this many subtasks the thread-pool band runner falls back to
+    #: the serial walk — dispatcher overhead would exceed any overlap win.
+    parallel_min_subtasks: int = 8
+    #: minimum host CPU count for the band runner: on fewer cores kernels
+    #: cannot actually overlap, so serial is never slower.
+    parallel_min_cores: int = 2
+    #: array-at-a-time partition kernels for the shuffle data plane
+    #: (hash/range partition ids + single-sweep chunk splitting). Off
+    #: selects the scalar per-row reference path, which produces
+    #: bit-identical partitions — this switch only trades wall-clock.
+    vectorized_shuffle: bool = True
+    #: pre-aggregate each mapper's partition input before it hits storage
+    #: (groupby shuffle-reduce only): shuffle bytes then shrink with key
+    #: cardinality instead of row count.
+    mapper_side_combine: bool = True
     #: release chunks once their last consumer ran (reference counting).
     #: Eager engines (Modin-like) materialize and pin every intermediate
     #: result instead — the accumulation that kills their workers at scale.

@@ -59,6 +59,28 @@ def shared_pool() -> ThreadPoolExecutor:
         return _pool
 
 
+def should_use_parallel(order: list[Subtask], config,
+                        cpu_count: int | None = None) -> bool:
+    """Serial-fallback gate: is the thread-pool band runner worth it?
+
+    Dispatcher setup, per-subtask future overhead and wait_for
+    synchronization cost real wall-clock; the payoff is overlap between
+    bands. Fall back to the plain serial walk when overlap cannot win:
+    tiny stages (``config.parallel_min_subtasks``), single-band stages
+    (nothing to overlap with), or hosts without enough cores to actually
+    run kernels concurrently (``config.parallel_min_cores``). Simulated
+    numbers are unaffected either way — both paths produce bit-identical
+    ``SimReport``s — so this gate only ever trades wall-clock.
+    """
+    if len(order) < max(config.parallel_min_subtasks, 2):
+        return False
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cores < config.parallel_min_cores:
+        return False
+    bands = {subtask.band for subtask in order}
+    return len(bands) >= 2
+
+
 class SubtaskComputation:
     """Kernel results of one subtask's compute phase.
 

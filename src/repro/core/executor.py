@@ -31,11 +31,12 @@ from ..graph.dag import DAG
 from ..graph.entity import ChunkData
 from ..graph.subtask import Subtask, build_subtask_graph
 from ..storage.service import StorageService
+from ..storage.shuffle import ShuffleManager
 from ..utils import sizeof
-from .dispatch import BandDispatcher, SubtaskComputation
+from .dispatch import BandDispatcher, SubtaskComputation, should_use_parallel
 from .fusion import fusion_groups, singleton_groups
 from .meta import MetaService
-from .operator import ExecContext
+from .operator import COMBINE_DROPPED_KEY, ExecContext
 from .opfusion import plan_subtask, step_io_keys
 from .scheduler import Scheduler
 
@@ -45,11 +46,15 @@ class GraphExecutor:
 
     def __init__(self, cluster: ClusterState, storage: StorageService,
                  meta: MetaService, config: Config,
-                 scheduler: Scheduler | None = None):
+                 scheduler: Scheduler | None = None,
+                 shuffle: ShuffleManager | None = None):
         self.cluster = cluster
         self.storage = storage
         self.meta = meta
         self.config = config
+        #: optional shuffle index: shuffle-map output chunks register here
+        #: as ``(shuffle_id, reducer)`` partitions when stored.
+        self.shuffle = shuffle
         self.scheduler = scheduler if scheduler is not None else Scheduler(
             cluster, config
         )
@@ -119,7 +124,7 @@ class GraphExecutor:
             parallel = self.parallel_mode
         if parallel is None:
             parallel = self.config.parallel_execution
-        if parallel and len(order) > 1:
+        if parallel and should_use_parallel(order, self.config):
             self._execute_parallel(
                 order, subtask_graph, completion, base_time, retain,
                 consumers, stage,
@@ -233,8 +238,8 @@ class GraphExecutor:
         ready_time = base_time
         for pred in graph.predecessors(subtask):
             ready_time = max(ready_time, completion[pred.key])
-        for key in subtask.input_keys:
-            info = self.storage.get(key, worker)
+        infos = self.storage.get_many(subtask.input_keys, worker)
+        for key, info in zip(subtask.input_keys, infos):
             env[key] = info.value
             sizes[key] = info.nbytes
             input_bytes += info.nbytes
@@ -299,7 +304,11 @@ class GraphExecutor:
                             and dep.key in env):
                         env_bytes -= sized(dep.key, env.pop(dep.key))
                 for meta_key, extra in extra_meta.items():
-                    self._pending_extra.setdefault(meta_key, {}).update(extra)
+                    dropped = extra.pop(COMBINE_DROPPED_KEY, 0)
+                    if dropped:
+                        stage.combine_dropped_rows += int(dropped)
+                    if extra:
+                        self._pending_extra.setdefault(meta_key, {}).update(extra)
             step_out_bytes = sum(
                 sized(k, env[k]) for k in step_outputs if k in env
             )
@@ -328,10 +337,25 @@ class GraphExecutor:
         tracker.note_transient(working_set)
 
         # -- store outputs ------------------------------------------------------
+        shuffle_chunks: dict[str, Any] = {}
+        if self.shuffle is not None:
+            shuffle_chunks = {
+                c.key: c for c in subtask.chunks
+                if c.op is not None and c.op.is_shuffle_map
+                and getattr(c.op, "shuffle_id", None) is not None
+                and len(c.index) >= 2
+            }
         for key in subtask.output_keys:
             if key not in env:
                 raise KeyError(f"subtask produced no value for output {key!r}")
-            self.storage.put(key, env[key], worker, nbytes=sizes.get(key))
+            stored = self.storage.put(key, env[key], worker,
+                                      nbytes=sizes.get(key))
+            chunk = shuffle_chunks.get(key)
+            if chunk is not None:
+                self.shuffle.register_partition(
+                    chunk.op.shuffle_id, int(chunk.index[0]),
+                    int(chunk.index[1]), key, worker, stored,
+                )
             extra = self._pending_extra.pop(key, None)
             self.meta.set_from_value(key, env[key], extra=extra)
 
@@ -360,6 +384,8 @@ class GraphExecutor:
             if consumers[key] <= 0 and key not in retain:
                 if self.config.eager_release or not self._terminal_keys.get(key, False):
                     self.storage.delete(key)
+                    if self.shuffle is not None:
+                        self.shuffle.forget_key(key)
         return end
 
     # ------------------------------------------------------------------
@@ -385,6 +411,7 @@ class GraphExecutor:
         report.total_compute_seconds += stage.total_compute_seconds
         report.total_transfer_bytes += stage.total_transfer_bytes
         report.total_shuffle_bytes += stage.total_shuffle_bytes
+        report.combine_dropped_rows += stage.combine_dropped_rows
         report.n_subtasks += stage.n_subtasks
         report.n_graph_nodes += stage.n_graph_nodes
         for worker, peak in stage.peak_memory.items():

@@ -62,6 +62,13 @@ class TileContext:
         return meta.shape[0] if meta.shape else 0
 
 
+#: reserved ``ExecContext.annotate`` key: rows a shuffle-map folded away
+#: by mapper-side combine. The executor routes it into the stage's
+#: ``SimReport`` (on the deterministic accounting walk) instead of the
+#: chunk's metadata.
+COMBINE_DROPPED_KEY = "__combine_dropped_rows"
+
+
 class ExecContext:
     """What an operator sees while executing on a worker.
 

@@ -37,6 +37,7 @@ class RunReport:
     makespan: float = 0.0
     transferred_bytes: int = 0
     shuffle_bytes: int = 0
+    combine_dropped_rows: int = 0
     spilled_bytes: int = 0
     n_subtasks: int = 0
     n_graph_nodes: int = 0
@@ -70,12 +71,12 @@ class Session:
         self.storage = StorageService(self.cluster, self.config)
         self.meta = MetaService()
         self.scheduler = Scheduler(self.cluster, self.config)
+        self.shuffle = ShuffleManager(self.storage)
         self.executor = GraphExecutor(
             self.cluster, self.storage, self.meta, self.config,
-            scheduler=self.scheduler,
+            scheduler=self.scheduler, shuffle=self.shuffle,
         )
         self.tiler = TilingEngine(self.executor, self.meta, self.config)
-        self.shuffle = ShuffleManager(self.storage)
         Session._counter += 1
         self.session_id = f"session-{Session._counter}"
         self._actor_ref = self.cluster.actor_system.create_actor(
@@ -108,6 +109,7 @@ class Session:
         subtasks0 = self.executor.report.n_subtasks
         nodes0 = self.executor.report.n_graph_nodes
         shuffle0 = self.executor.report.total_shuffle_bytes
+        combine0 = self.executor.report.combine_dropped_rows
 
         previous_mode = self.executor.parallel_mode
         if parallel is not None:
@@ -128,6 +130,9 @@ class Session:
             makespan=self.cluster.clock.makespan - t0,
             transferred_bytes=self.storage.total_transferred_bytes - transfer0,
             shuffle_bytes=self.executor.report.total_shuffle_bytes - shuffle0,
+            combine_dropped_rows=(
+                self.executor.report.combine_dropped_rows - combine0
+            ),
             spilled_bytes=self.storage.total_spilled_bytes - spill0,
             n_subtasks=self.executor.report.n_subtasks - subtasks0,
             n_graph_nodes=self.executor.report.n_graph_nodes - nodes0,

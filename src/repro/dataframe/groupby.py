@@ -27,11 +27,17 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.operator import ExecContext, Operator, TileContext
+from ..core.operator import (
+    COMBINE_DROPPED_KEY,
+    ExecContext,
+    Operator,
+    TileContext,
+)
 from ..frame import DataFrame, concat
 from ..frame.groupby import _how_name
 from ..graph.entity import ChunkData
-from ..utils import batched
+from ..utils import batched, new_key
+from .partition import assign_range_partitions, split_by_assignment
 from .utils import chunk_index, spread_sample
 
 #: aggregations this operator can decompose for distributed execution.
@@ -117,6 +123,31 @@ def _concat_lists(series) -> list:
         if value is not None:
             out.extend(value)
     return out
+
+
+def merge_partial_frames(partials: list[DataFrame], by: Sequence,
+                         plan: Sequence[tuple]) -> DataFrame:
+    """Merge map-stage partial frames by group key.
+
+    Shared by the combine/reduce stages and by mapper-side combine in
+    :class:`GroupByPartition`: both fold duplicate keys with each partial
+    column's merge function (sums add, mins min, sets union, lists
+    concatenate), preserving row order within a key so order-sensitive
+    partials (first/last) keep their meaning.
+    """
+    merged = concat(partials, ignore_index=True) if len(partials) > 1 \
+        else partials[0]
+    grouped = merged.groupby(list(by), as_index=False)
+    named: dict = {}
+    for i, (_out, _col, how) in enumerate(plan):
+        for partial_name, merge_how in _partial_columns(i, how):
+            if merge_how == "__union":
+                named[partial_name] = (partial_name, _union_sets)
+            elif merge_how == "__concat":
+                named[partial_name] = (partial_name, _concat_lists)
+            else:
+                named[partial_name] = (partial_name, merge_how)
+    return grouped.agg(**named)
 
 
 class GroupByAgg(Operator):
@@ -244,9 +275,11 @@ class GroupByAgg(Operator):
                       boundaries: list) -> list[ChunkData]:
         n_reducers = len(boundaries) + 1
         partitions: list[list[ChunkData]] = [[] for _ in range(n_reducers)]
+        shuffle_id = new_key("shuffle")
         for m, map_chunk in enumerate(map_chunks):
             part_op = GroupByPartition(
                 by=self.by, boundaries=boundaries, n_reducers=n_reducers,
+                plan=self.plan, shuffle_id=shuffle_id,
             )
             specs = [
                 {
@@ -306,18 +339,7 @@ class GroupByAgg(Operator):
         return grouped.agg(**named)
 
     def _merge_partials(self, partials: list[DataFrame]) -> DataFrame:
-        merged = concat(partials, ignore_index=True)
-        grouped = merged.groupby(self.by, as_index=False)
-        named: dict = {}
-        for i, (_out, col, how) in enumerate(self.plan):
-            for partial_name, merge_how in _partial_columns(i, how):
-                if merge_how == "__union":
-                    named[partial_name] = (partial_name, _union_sets)
-                elif merge_how == "__concat":
-                    named[partial_name] = (partial_name, _concat_lists)
-                else:
-                    named[partial_name] = (partial_name, merge_how)
-        return grouped.agg(**named)
+        return merge_partial_frames(partials, self.by, self.plan)
 
     def _finalize(self, merged: DataFrame) -> DataFrame:
         out = DataFrame({})
@@ -392,35 +414,35 @@ class GroupByPartition(Operator):
     is_shuffle_map = True
 
     def __init__(self, by: Sequence, boundaries: list, n_reducers: int,
-                 **params):
+                 plan: Sequence[tuple] | None = None,
+                 shuffle_id: str | None = None, **params):
         super().__init__(**params)
         self.by = list(by)
         self.boundaries = boundaries
         self.n_reducers = n_reducers
+        self.plan = [tuple(p) for p in plan] if plan is not None else None
+        self.shuffle_id = shuffle_id
 
     def execute(self, ctx: ExecContext):
         frame = ctx.get(self.inputs[0].key)
+        # mapper-side combine: auto merge glues map partials together
+        # *without* re-aggregating, so a merged chunk carries duplicate
+        # group keys. Folding them here — before the partitions hit
+        # storage — shrinks shuffle bytes with key cardinality.
+        if (self.plan is not None and ctx.config.mapper_side_combine
+                and len(frame) > 0):
+            combined = merge_partial_frames([frame], self.by, self.plan)
+            dropped = len(frame) - len(combined)
+            if dropped > 0:
+                ctx.annotate(self.outputs[0].key,
+                             **{COMBINE_DROPPED_KEY: dropped})
+                frame = combined
         keys = frame[self.by[0]].values
-        assignment = assign_range_partitions(keys, self.boundaries)
-        out: dict = {}
-        for r, chunk in enumerate(self.outputs):
-            mask = assignment == r
-            out[chunk.key] = frame[mask]
-        return out
-
-
-def assign_range_partitions(keys: np.ndarray, boundaries: list) -> np.ndarray:
-    """Partition ids via binary search over the sampled boundaries."""
-    if not boundaries:
-        return np.zeros(len(keys), dtype=np.int64)
-    out = np.empty(len(keys), dtype=np.int64)
-    for i, key in enumerate(keys.tolist()):
-        lo, hi = 0, len(boundaries)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if key is not None and key <= boundaries[mid]:
-                hi = mid
-            else:
-                lo = mid + 1
-        out[i] = lo
-    return out
+        vectorized = ctx.config.vectorized_shuffle
+        assignment = assign_range_partitions(
+            keys, self.boundaries, vectorized=vectorized
+        )
+        parts = split_by_assignment(
+            frame, assignment, self.n_reducers, vectorized=vectorized
+        )
+        return {chunk.key: parts[r] for r, chunk in enumerate(self.outputs)}

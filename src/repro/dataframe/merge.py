@@ -22,7 +22,12 @@ import numpy as np
 from ..core.operator import ExecContext, Operator, TileContext
 from ..frame import DataFrame, concat, merge as frame_merge
 from ..graph.entity import ChunkData
-from .groupby import assign_range_partitions
+from ..utils import new_key
+from .partition import (
+    assign_hash_partitions,
+    assign_range_partitions,
+    split_by_assignment,
+)
 from .utils import ConcatChunks, chunk_index, nsplits_from_chunks, spread_sample
 
 
@@ -210,10 +215,11 @@ class Merge(Operator):
     def _partition_side(self, chunks, key, boundaries, n_parts,
                         hash_mode, side):
         partitions: list[list[ChunkData]] = [[] for _ in range(n_parts)]
+        shuffle_id = new_key("shuffle")  # one dataset per shuffled side
         for m, chunk in enumerate(chunks):
             part_op = MergePartition(
                 key=key, boundaries=boundaries, n_parts=n_parts,
-                hash_mode=hash_mode,
+                hash_mode=hash_mode, shuffle_id=shuffle_id,
             )
             specs = [
                 {"kind": "dataframe", "shape": (None, None),
@@ -235,42 +241,30 @@ class MergePartition(Operator):
     is_shuffle_map = True
 
     def __init__(self, key, boundaries: list, n_parts: int, hash_mode: bool,
-                 **params):
+                 shuffle_id: str | None = None, **params):
         super().__init__(**params)
         self.key = key
         self.boundaries = boundaries
         self.n_parts = n_parts
         self.hash_mode = hash_mode
+        self.shuffle_id = shuffle_id
 
     def execute(self, ctx: ExecContext):
         frame = ctx.get(self.inputs[0].key)
         keys = frame[self.key].values
+        vectorized = ctx.config.vectorized_shuffle
         if self.hash_mode:
-            assignment = np.array(
-                [_stable_hash(v) % self.n_parts for v in keys.tolist()],
-                dtype=np.int64,
+            assignment = assign_hash_partitions(
+                keys, self.n_parts, vectorized=vectorized
             )
         else:
-            assignment = assign_range_partitions(keys, self.boundaries)
-        out: dict = {}
-        for r, chunk in enumerate(self.outputs):
-            out[chunk.key] = frame[assignment == r]
-        return out
-
-
-def _stable_hash(value) -> int:
-    """Deterministic, content-based hash (Python's str hash is salted)."""
-    if value is None:
-        return 0
-    if isinstance(value, (int, np.integer)):
-        return int(value) * 2654435761 % (2 ** 31)
-    if isinstance(value, (float, np.floating)):
-        return int(value * 1000003) % (2 ** 31)
-    text = str(value)
-    h = 2166136261
-    for ch in text:
-        h = (h ^ ord(ch)) * 16777619 % (2 ** 32)
-    return h % (2 ** 31)
+            assignment = assign_range_partitions(
+                keys, self.boundaries, vectorized=vectorized
+            )
+        parts = split_by_assignment(
+            frame, assignment, self.n_parts, vectorized=vectorized
+        )
+        return {chunk.key: parts[r] for r, chunk in enumerate(self.outputs)}
 
 
 class MergeChunk(Operator):

@@ -18,7 +18,8 @@ import numpy as np
 from ..core.operator import ExecContext, Operator, TileContext
 from ..frame import concat
 from ..graph.entity import ChunkData
-from .groupby import assign_range_partitions
+from ..utils import new_key
+from .partition import assign_range_partitions, split_by_assignment
 from .utils import ConcatChunks, chunk_index, nsplits_from_chunks, spread_sample
 
 
@@ -56,8 +57,10 @@ class SortValues(Operator):
             return [([out], nsplits_from_chunks(ctx, [out], "dataframe", n_cols))]
         n_parts = len(boundaries) + 1
         partitions: list[list[ChunkData]] = [[] for _ in range(n_parts)]
+        shuffle_id = new_key("shuffle")
         for m, chunk in enumerate(chunks):
-            part_op = SortPartition(key=self.by[0], boundaries=boundaries)
+            part_op = SortPartition(key=self.by[0], boundaries=boundaries,
+                                    shuffle_id=shuffle_id)
             specs = [
                 {"kind": "dataframe", "shape": (None, None), "index": (m, r)}
                 for r in range(n_parts)
@@ -121,20 +124,24 @@ class SortPartition(Operator):
 
     is_shuffle_map = True
 
-    def __init__(self, key, boundaries: list, **params):
+    def __init__(self, key, boundaries: list, shuffle_id: str | None = None,
+                 **params):
         super().__init__(**params)
         self.key = key
         self.boundaries = boundaries
+        self.shuffle_id = shuffle_id
 
     def execute(self, ctx: ExecContext):
         frame = ctx.get(self.inputs[0].key)
+        vectorized = ctx.config.vectorized_shuffle
         assignment = assign_range_partitions(
-            frame[self.key].values, self.boundaries
+            frame[self.key].values, self.boundaries, vectorized=vectorized
         )
-        out: dict = {}
-        for r, chunk in enumerate(self.outputs):
-            out[chunk.key] = frame[assignment == r]
-        return out
+        n_parts = len(self.outputs)
+        parts = split_by_assignment(
+            frame, assignment, n_parts, vectorized=vectorized
+        )
+        return {chunk.key: parts[r] for r, chunk in enumerate(self.outputs)}
 
 
 class SortChunk(Operator):

@@ -245,11 +245,15 @@ class DataFrame:
 
     @property
     def nbytes(self) -> int:
-        from ..utils import sizeof
-
+        # inlined per-column sizing (same numbers as utils.sizeof): this
+        # runs once per chunk per subtask on the executor's hot path.
         total = self._index.nbytes + 64
         for name in self._columns:
-            total += sizeof(self._data[name])
+            arr = self._data[name]
+            if arr.dtype == object:
+                total += int(arr.size) * 64 + 96
+            else:
+                total += int(arr.nbytes)
         return total
 
     def __len__(self) -> int:

@@ -112,9 +112,11 @@ class Series:
 
     @property
     def nbytes(self) -> int:
-        from ..utils import sizeof
-
-        return sizeof(self._values) + self._index.nbytes
+        # same numbers as utils.sizeof, without the import/dispatch cost.
+        values = self._values
+        if values.dtype == object:
+            return int(values.size) * 64 + 96 + self._index.nbytes
+        return int(values.nbytes) + self._index.nbytes
 
     def __len__(self) -> int:
         return len(self._values)

@@ -33,12 +33,16 @@ def sizeof(obj: Any) -> int:
     arrays are charged a per-element estimate because ``arr.nbytes`` only
     counts the pointers.
     """
+    # ndarray first: the overwhelmingly common case on the shuffle/data
+    # path, answered from dtype metadata without the getattr protocol.
+    if isinstance(obj, np.ndarray):
+        if obj.dtype == object:
+            return int(obj.size) * 64 + 96
+        return int(obj.nbytes)
     if obj is None:
         return 16
     nbytes = getattr(obj, "nbytes", None)
     if nbytes is not None:
-        if isinstance(obj, np.ndarray) and obj.dtype == object:
-            return int(obj.size) * 64 + 96
         return int(nbytes)
     if isinstance(obj, (bytes, bytearray)):
         return len(obj) + 48

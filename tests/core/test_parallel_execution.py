@@ -11,9 +11,11 @@ from collections import Counter
 import numpy as np
 import pytest
 
+from types import SimpleNamespace
+
 from repro.config import Config
 from repro.core import Session
-from repro.core.dispatch import BandDispatcher, shared_pool
+from repro.core.dispatch import BandDispatcher, shared_pool, should_use_parallel
 from repro.storage.service import StorageService
 from repro import frame as pf
 from repro.dataframe import from_frame
@@ -28,6 +30,11 @@ def make_session(parallel: bool, chunk_limit: int = WIDE_CHUNK_LIMIT) -> Session
     cfg = Config()
     cfg.chunk_store_limit = chunk_limit
     cfg.parallel_execution = parallel
+    # force the dispatcher path: these tests exercise the band runner's
+    # concurrency contract, so the small-graph/low-core serial fallback
+    # must not quietly select the serial walk (e.g. on 1-core CI hosts).
+    cfg.parallel_min_subtasks = 2
+    cfg.parallel_min_cores = 1
     return Session(cfg)
 
 
@@ -158,6 +165,80 @@ class TestErrorPropagation:
                 t.map_blocks(boom, out_cols=4).fetch()
             ok = (rand(1024, 4, seed=2, session=session) + 1.0).sum()
             assert np.isfinite(float(np.asarray(ok.fetch())))
+
+
+class TestSerialFallback:
+    """Small graphs and starved hosts must skip the thread-pool entirely.
+
+    Dispatcher startup plus cross-thread handoff costs more than it saves
+    on tiny stages (the BENCH_wallclock tpch_q5/fig8a regressions), so
+    ``parallel_execution`` is a *request*: the executor honours it only
+    when the graph is wide enough and the host has cores to use.
+    """
+
+    @staticmethod
+    def _order(n_subtasks: int, n_bands: int):
+        return [
+            SimpleNamespace(band=f"worker-{i % n_bands}/band-0")
+            for i in range(n_subtasks)
+        ]
+
+    def test_small_graph_goes_serial(self):
+        cfg = Config()
+        cfg.parallel_min_cores = 1
+        order = self._order(cfg.parallel_min_subtasks - 1, n_bands=4)
+        assert not should_use_parallel(order, cfg, cpu_count=8)
+
+    def test_single_band_goes_serial(self):
+        cfg = Config()
+        cfg.parallel_min_cores = 1
+        order = self._order(64, n_bands=1)
+        assert not should_use_parallel(order, cfg, cpu_count=8)
+
+    def test_starved_host_goes_serial(self):
+        cfg = Config()
+        order = self._order(64, n_bands=4)
+        assert should_use_parallel(order, cfg, cpu_count=cfg.parallel_min_cores)
+        assert not should_use_parallel(
+            order, cfg, cpu_count=cfg.parallel_min_cores - 1
+        )
+
+    def test_wide_graph_on_wide_host_goes_parallel(self):
+        cfg = Config()
+        order = self._order(64, n_bands=4)
+        assert should_use_parallel(order, cfg, cpu_count=8)
+
+    def test_executor_skips_dispatcher_for_small_graphs(self, monkeypatch):
+        """Integration: below-threshold runs never construct a dispatcher."""
+        import repro.core.executor as executor_mod
+
+        constructed = []
+        original_init = BandDispatcher.__init__
+
+        def counting_init(self, *args, **kwargs):
+            constructed.append(1)
+            original_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(executor_mod.BandDispatcher, "__init__",
+                            counting_init)
+
+        cfg = Config()
+        cfg.parallel_execution = True
+        cfg.parallel_min_subtasks = 10**6  # nothing is ever that wide
+        cfg.parallel_min_cores = 1
+        with Session(cfg) as session:
+            t = rand(256, 4, seed=5, session=session)
+            (t + 1.0).sum().fetch()
+        assert not constructed
+
+        cfg = Config()
+        cfg.parallel_execution = True
+        cfg.parallel_min_subtasks = 2
+        cfg.parallel_min_cores = 1
+        cfg.chunk_store_limit = WIDE_CHUNK_LIMIT
+        with Session(cfg) as session:
+            wide_fanout_result(session)
+        assert constructed
 
 
 class TestDispatcherInternals:

@@ -1,0 +1,161 @@
+"""Regression tests for the reducer-indexed shuffle data plane.
+
+Pins the gather complexity contract: a reducer's gather must touch only
+its own M partition entries (reducer indexing), issue its storage reads
+as one batched ``get_many`` call, and the executor must keep the shuffle
+index in lockstep with chunk lifetime (register on store, forget on
+free).
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterState
+from repro.config import Config
+from repro.core import Session
+from repro import frame as pf
+from repro.dataframe import from_frame
+from repro.storage import ShuffleManager, StorageService
+
+
+def make_service(memory_limit=200_000, n_workers=4):
+    cfg = Config()
+    cfg.cluster.n_workers = n_workers
+    cfg.cluster.memory_limit = memory_limit
+    cluster = ClusterState(cfg)
+    return StorageService(cluster, cfg), cluster
+
+
+def populate(shuffle: ShuffleManager, n_mappers: int, n_reducers: int) -> None:
+    for mapper in range(n_mappers):
+        for reducer in range(n_reducers):
+            shuffle.write_partition(
+                "s1", mapper, reducer,
+                np.full(4, mapper * 100 + reducer),
+                f"worker-{mapper % 4}",
+            )
+
+
+class TestGatherCallCounts:
+    def test_gather_scans_only_own_mappers(self):
+        """One gather touches M entries, not M x R — the tentpole invariant.
+
+        The pre-indexed implementation scanned every (mapper, reducer)
+        entry of the dataset per gather; R gathers cost M x R^2 scans.
+        With reducer indexing the totals below are exact, so any future
+        regression to full scans fails loudly.
+        """
+        n_mappers, n_reducers = 6, 5
+        service, _ = make_service()
+        shuffle = ShuffleManager(service)
+        populate(shuffle, n_mappers, n_reducers)
+
+        scanned0 = shuffle.gather_scanned
+        shuffle.gather("s1", 2, "worker-0")
+        assert shuffle.gather_scanned - scanned0 == n_mappers
+
+        for reducer in range(n_reducers):
+            if reducer != 2:
+                shuffle.gather("s1", reducer, "worker-0")
+        assert shuffle.gather_scanned - scanned0 == n_mappers * n_reducers
+        assert shuffle.gather_fetches == shuffle.gather_scanned
+
+    def test_gather_reads_are_batched(self, monkeypatch):
+        """A gather issues zero per-key ``get`` calls — all via get_many."""
+        service, _ = make_service()
+        shuffle = ShuffleManager(service)
+        populate(shuffle, 4, 3)
+
+        single_gets = []
+        original_get = StorageService.get
+
+        def spying_get(self, key, requesting_worker):
+            single_gets.append(key)
+            return original_get(self, key, requesting_worker)
+
+        batched_calls = []
+        original_get_many = StorageService.get_many
+
+        def spying_get_many(self, keys, requesting_worker):
+            batched_calls.append(list(keys))
+            return original_get_many(self, keys, requesting_worker)
+
+        monkeypatch.setattr(StorageService, "get", spying_get)
+        monkeypatch.setattr(StorageService, "get_many", spying_get_many)
+
+        values, _, _ = shuffle.gather("s1", 1, "worker-0")
+        assert len(values) == 4
+        assert single_gets == []
+        assert len(batched_calls) == 1 and len(batched_calls[0]) == 4
+
+    def test_gather_values_stay_mapper_ordered(self):
+        service, _ = make_service()
+        shuffle = ShuffleManager(service)
+        # register out of mapper order; gather must still sort by mapper.
+        shuffle.write_partition("s1", 3, 0, "m3", "worker-0")
+        shuffle.write_partition("s1", 0, 0, "m0", "worker-1")
+        shuffle.write_partition("s1", 1, 0, "m1", "worker-0")
+        values, _, _ = shuffle.gather("s1", 0, "worker-0")
+        assert values == ["m0", "m1", "m3"]
+
+    def test_get_many_matches_sequential_gets(self):
+        service, _ = make_service()
+        service.put("a", np.arange(5), "worker-0")
+        service.put("b", np.arange(7), "worker-1")
+        infos = service.get_many(["a", "b"], "worker-0")
+        assert [info.nbytes for info in infos] == [
+            service.get("a", "worker-0").nbytes,
+            service.get("b", "worker-0").nbytes,
+        ]
+        # "b" lives on worker-1: batched read still charges the transfer.
+        assert infos[1].transferred_bytes > 0
+
+
+class TestIndexLifecycle:
+    def test_forget_key_removes_single_partition(self):
+        service, _ = make_service()
+        shuffle = ShuffleManager(service)
+        populate(shuffle, 3, 2)
+        target = "shuffle:s1:1:0"
+        shuffle.forget_key(target)
+        values, _, _ = shuffle.gather("s1", 0, "worker-0")
+        assert len(values) == 2  # mappers 0 and 2 remain
+        # reducer 1 untouched
+        values, _, _ = shuffle.gather("s1", 1, "worker-0")
+        assert len(values) == 3
+        shuffle.forget_key(target)  # idempotent
+        shuffle.forget_key("never-registered")
+
+    def test_reregistration_replaces_stale_entry(self):
+        service, _ = make_service()
+        shuffle = ShuffleManager(service)
+        service.put("k", np.arange(3), "worker-0")
+        shuffle.register_partition("s1", 0, 0, "k", "worker-0", 24)
+        shuffle.register_partition("s1", 0, 0, "k", "worker-1", 24)
+        values, _, _ = shuffle.gather("s1", 0, "worker-1")
+        assert len(values) == 1
+
+    def test_session_registers_and_drains_shuffle_index(self):
+        """End to end: a shuffle groupby flows through the session index.
+
+        Map-side partition chunks must register (bytes observed) and be
+        forgotten again once the reducers consume them — the index must
+        not leak entries across queries.
+        """
+        cfg = Config()
+        cfg.chunk_store_limit = 16 * 1024
+        cfg.tree_reduce_threshold = 1  # force the shuffle reduce path
+        rng = np.random.default_rng(23)
+        local = pf.DataFrame({
+            "k": rng.integers(0, 200, 8_000),
+            "v": rng.normal(size=8_000),
+        })
+        with Session(cfg) as session:
+            out = from_frame(local, session).groupby("k").agg(
+                {"v": "sum"}
+            ).fetch()
+            assert len(out) == 200
+            assert session.shuffle.total_shuffle_bytes > 0
+            assert session.shuffle.gather_scanned == 0  # executor-side plane
+            assert not session.shuffle._key_index, (
+                "shuffle partitions leaked in the index after execution"
+            )
