@@ -34,6 +34,14 @@ class ClusterState:
             for worker in self.workers
         }
         self.clock = SimClock(self.bands, config.cost_model)
+        # late import: repro.core pulls in the executor (which imports this
+        # module); the injector itself has no such dependency.
+        from ..core.recovery import FaultInjector
+
+        #: deterministic chaos source consulted by the executor's
+        #: accounting walk (no-op unless config.faults sets a rate or a
+        #: test scripts an injection point).
+        self.faults = FaultInjector(config.faults)
         self.actor_system = ActorSystem()
         self.actor_system.create_pool(SUPERVISOR_ADDRESS)
         for worker in self.workers:

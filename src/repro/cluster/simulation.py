@@ -30,6 +30,14 @@ class SimReport:
     combine_dropped_rows: int = 0
     n_subtasks: int = 0
     n_graph_nodes: int = 0
+    #: failed subtask attempts that were re-tried (fault recovery).
+    retries: int = 0
+    #: producer subtasks re-executed by lineage recovery.
+    recomputed_subtasks: int = 0
+    #: bytes written back to storage by recovery re-executions.
+    recovery_bytes: int = 0
+    #: virtual seconds of retry backoff charged to the simulated clock.
+    backoff_time: float = 0.0
     peak_memory: dict[str, int] = field(default_factory=dict)
     band_busy: dict[str, float] = field(default_factory=dict)
 
@@ -49,6 +57,10 @@ class SimReport:
         self.combine_dropped_rows += other.combine_dropped_rows
         self.n_subtasks += other.n_subtasks
         self.n_graph_nodes += other.n_graph_nodes
+        self.retries += other.retries
+        self.recomputed_subtasks += other.recomputed_subtasks
+        self.recovery_bytes += other.recovery_bytes
+        self.backoff_time += other.backoff_time
         for worker, peak in other.peak_memory.items():
             self.peak_memory[worker] = max(self.peak_memory.get(worker, 0), peak)
         for band, busy in other.band_busy.items():
@@ -97,6 +109,15 @@ class SimClock:
         """The band (among ``bands``) that frees up first."""
         best = min(bands, key=lambda b: self.band_free[b.name])
         return best
+
+    def delay_band(self, band_name: str, seconds: float) -> None:
+        """Push a band's availability without counting busy time.
+
+        Models downtime rather than work — e.g. the bands of a killed
+        worker waiting out its restart.
+        """
+        with self._lock:
+            self.band_free[band_name] += seconds
 
     @property
     def makespan(self) -> float:

@@ -45,6 +45,43 @@ class CostModel:
 
 
 @dataclass
+class FaultSpec:
+    """Deterministic fault-injection plan (chaos testing, recovery bench).
+
+    All rates are per-draw probabilities in ``[0, 1]``. Draws are seeded
+    hashes of *structural* identities — (stage index, topological
+    position, attempt) — never of runtime keys or call order, so for one
+    seed the same faults fire in serial and parallel execution mode
+    (bit-identical ``SimReport``) and across separate sessions running
+    the same workload.
+    """
+
+    seed: int = 0
+    #: probability that a subtask attempt fails before doing any work.
+    compute_fault_rate: float = 0.0
+    #: probability that a stored output chunk is lost right after its
+    #: producing subtask completes (models async storage loss).
+    chunk_loss_rate: float = 0.0
+    #: probability that the worker that just ran a subtask crashes,
+    #: losing every recomputable chunk it stores.
+    worker_kill_rate: float = 0.0
+    #: per-subtask budget of re-attempts before RetriesExhausted.
+    max_retries: int = 3
+    #: first retry waits this many virtual seconds ...
+    backoff_base: float = 0.05
+    #: ... growing by this factor per subsequent retry.
+    backoff_factor: float = 2.0
+    #: virtual seconds a killed worker's bands are unavailable while the
+    #: process restarts.
+    worker_restart_time: float = 0.25
+
+    @property
+    def any_rate(self) -> bool:
+        return (self.compute_fault_rate > 0.0 or self.chunk_loss_rate > 0.0
+                or self.worker_kill_rate > 0.0)
+
+
+@dataclass
 class ClusterSpec:
     """Shape of the simulated cluster."""
 
@@ -112,6 +149,8 @@ class Config:
     # --- cluster & costs ----------------------------------------------------
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     cost_model: CostModel = field(default_factory=CostModel)
+    #: deterministic fault injection (all rates default to zero = off).
+    faults: FaultSpec = field(default_factory=FaultSpec)
 
     #: working-set multiplier: executing a subtask needs roughly
     #: ``peak_factor * (input_bytes + output_bytes)`` free memory.
@@ -131,6 +170,7 @@ class Config:
             self,
             cluster=dataclasses.replace(self.cluster),
             cost_model=dataclasses.replace(self.cost_model),
+            faults=dataclasses.replace(self.faults),
         )
         for key, value in overrides.items():
             if not hasattr(new, key):

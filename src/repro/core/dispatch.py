@@ -32,6 +32,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
+from ..errors import DispatcherError
 from ..graph.dag import DAG
 from ..graph.subtask import Subtask
 
@@ -146,6 +147,12 @@ class BandDispatcher:
                     )
         self._inflight = 0
         self._stopped = False
+        #: fatal pool-level failure (submit failed, completion bookkeeping
+        #: raised): surfaced to every waiter as DispatcherError.
+        self._poisoned: BaseException | None = None
+        #: poisoned key -> keys of the failed root subtasks that poisoned
+        #: it; resolve() lifts marks owed to a recovered root.
+        self._poison_root: dict[str, set[str]] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -157,14 +164,73 @@ class BandDispatcher:
             self._dispatch_ready()
 
     def wait_for(self, key: str) -> SubtaskComputation:
-        """Block until ``key``'s compute phase finished; re-raise its error."""
+        """Block until ``key``'s compute phase finished; re-raise its error.
+
+        Never blocks forever: a poisoned pool (runner thread died in its
+        completion bookkeeping, or submit itself failed), a stopped
+        dispatcher, or a stalled graph (nothing in flight and nothing
+        queued while ``key`` is still absent) all raise
+        :class:`DispatcherError` instead of hanging the caller.
+        """
         with self._event:
-            while key not in self._records and key not in self._errors:
-                self._event.wait()
-            error = self._errors.get(key)
-            if error is not None:
-                raise error
-            return self._records[key]
+            while True:
+                error = self._errors.get(key)
+                if error is not None:
+                    raise error
+                record = self._records.get(key)
+                if record is not None:
+                    return record
+                if self._poisoned is not None:
+                    raise DispatcherError(
+                        f"band runner pool failed while waiting for {key!r}: "
+                        f"{self._poisoned!r}"
+                    ) from self._poisoned
+                if self._stopped:
+                    raise DispatcherError(
+                        f"dispatcher stopped while waiting for {key!r}"
+                    )
+                if self._inflight == 0 and not any(
+                    self._band_queues.values()
+                ):
+                    raise DispatcherError(
+                        f"dispatcher stalled waiting for {key!r}: nothing "
+                        "in flight and nothing queued"
+                    )
+                self._event.wait(timeout=0.1)
+
+    def resolve(self, subtask: Subtask) -> None:
+        """Clear a failed subtask the caller has recovered inline.
+
+        The accounting thread catches a retryable compute failure from
+        :meth:`wait_for`, re-executes the subtask (and any lost
+        producers) itself, stores the outputs, then calls this: poison
+        marks owed to the failed root are lifted, its successors'
+        indegrees are decremented exactly as a normal completion would
+        have done, and dispatch resumes — descendants read the recovered
+        outputs from storage via the accounting-free ``fetch``.
+        """
+        with self._event:
+            root = subtask.key
+            for key in list(self._poison_root):
+                roots = self._poison_root[key]
+                if root in roots:
+                    roots.discard(root)
+                    if not roots:
+                        del self._poison_root[key]
+                        self._errors.pop(key, None)
+            for key in subtask.input_keys:
+                remaining = self._value_consumers.get(key)
+                if remaining is not None:
+                    remaining -= 1
+                    self._value_consumers[key] = remaining
+                    if remaining <= 0:
+                        self._values.pop(key, None)
+            for succ in self._graph.successors(subtask):
+                self._indegree[succ.key] -= 1
+                if self._indegree[succ.key] == 0:
+                    self._enqueue(succ)
+            self._dispatch_ready()
+            self._event.notify_all()
 
     def discard(self, key: str) -> None:
         """Drop a consumed record so intermediates can be collected."""
@@ -172,11 +238,24 @@ class BandDispatcher:
             self._records.pop(key, None)
 
     def shutdown(self) -> None:
-        """Stop dispatching new work and wait for in-flight computes."""
+        """Stop dispatching new work and wait for in-flight computes.
+
+        Bounded: a poisoned pool or a runner thread that vanished
+        without reporting completion (no progress for ~30s) stops the
+        wait instead of deadlocking the caller.
+        """
         with self._event:
             self._stopped = True
-            while self._inflight > 0:
-                self._event.wait()
+            idle_rounds = 0
+            while self._inflight > 0 and self._poisoned is None:
+                before = self._inflight
+                notified = self._event.wait(timeout=0.5)
+                if notified or self._inflight != before:
+                    idle_rounds = 0
+                    continue
+                idle_rounds += 1
+                if idle_rounds >= 60:
+                    break
             self._records.clear()
             self._values.clear()
             for queue in self._band_queues.values():
@@ -199,7 +278,13 @@ class BandDispatcher:
                 _, _, subtask = heapq.heappop(queue)
                 self._band_busy.add(band)
                 self._inflight += 1
-                self._pool.submit(self._run, subtask)
+                try:
+                    self._pool.submit(self._run, subtask)
+                except BaseException as exc:  # pool shut down / saturated
+                    self._inflight -= 1
+                    self._band_busy.discard(band)
+                    self._set_poisoned(exc)
+                    return
 
     # -- pool-thread side -------------------------------------------------
     def _run(self, subtask: Subtask) -> None:
@@ -210,7 +295,12 @@ class BandDispatcher:
             record = self._compute(subtask, inputs)
         except BaseException as exc:  # noqa: BLE001 — re-raised in wait_for
             error = exc
-        self._complete(subtask, record, error)
+        try:
+            self._complete(subtask, record, error)
+        except BaseException as exc:  # noqa: BLE001 — completion bookkeeping
+            # died: without this every wait_for caller would hang forever
+            # on a completion that will never be delivered.
+            self._poison_pool(exc)
 
     def _gather(self, subtask: Subtask) -> dict[str, Any]:
         inputs: dict[str, Any] = {}
@@ -260,10 +350,25 @@ class BandDispatcher:
     def _fail(self, subtask: Subtask, error: BaseException) -> None:
         # Descendants can never become ready (their indegree never hits
         # zero); mark them with the same error so wait_for does not hang.
+        # Every mark remembers which failed root caused it, so resolve()
+        # can lift exactly the marks owed to a recovered root.
         stack = [subtask]
         while stack:
             node = stack.pop()
-            if node.key in self._errors:
+            roots = self._poison_root.setdefault(node.key, set())
+            if subtask.key in roots:
                 continue
-            self._errors[node.key] = error
+            roots.add(subtask.key)
+            if node.key not in self._errors:
+                self._errors[node.key] = error
             stack.extend(self._graph.successors(node))
+
+    def _set_poisoned(self, error: BaseException) -> None:
+        # called with self._lock held
+        if self._poisoned is None:
+            self._poisoned = error
+        self._event.notify_all()
+
+    def _poison_pool(self, error: BaseException) -> None:
+        with self._event:
+            self._set_poisoned(error)

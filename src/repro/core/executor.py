@@ -26,7 +26,14 @@ from typing import Any
 from ..cluster.cluster import ClusterState
 from ..cluster.simulation import SimReport
 from ..config import Config
-from ..errors import ExecutionHang, WorkerOutOfMemory
+from ..errors import (
+    ChunkLostError,
+    ExecutionHang,
+    FaultInjected,
+    RetriesExhausted,
+    StorageKeyError,
+    WorkerOutOfMemory,
+)
 from ..graph.dag import DAG
 from ..graph.entity import ChunkData
 from ..graph.subtask import Subtask, build_subtask_graph
@@ -38,7 +45,21 @@ from .fusion import fusion_groups, singleton_groups
 from .meta import MetaService
 from .operator import COMBINE_DROPPED_KEY, ExecContext
 from .opfusion import plan_subtask, step_io_keys
+from .recovery import RecoveryManager
 from .scheduler import Scheduler
+
+#: failures the retry loop re-attempts; anything else (kernel bugs, OOM
+#: with spill disabled) propagates unchanged.
+_RETRYABLE = (FaultInjected, ChunkLostError, StorageKeyError)
+
+
+def _lost_keys(exc: BaseException) -> list[str]:
+    """The chunk keys a retryable failure says are gone (may be empty)."""
+    if isinstance(exc, ChunkLostError):
+        return list(exc.keys)
+    if isinstance(exc, StorageKeyError) and exc.args:
+        return [exc.args[0]]
+    return []
 
 
 class GraphExecutor:
@@ -60,6 +81,15 @@ class GraphExecutor:
         )
         #: completion virtual time of every produced chunk key.
         self.chunk_ready_at: dict[str, float] = {}
+        #: lineage registry: chunk key -> producing subtask, persisted
+        #: across stages and past refcount deletion, so any lost chunk
+        #: can be recomputed on demand.
+        self.recovery = RecoveryManager()
+        #: failed-attempt counters keyed by the structural identity
+        #: ``(stage_index, priority)`` — never reset, so serial and
+        #: parallel runs of the same workload draw identical faults.
+        self._attempts: dict[tuple[int, int], int] = {}
+        self._stage_index = -1
         self.report = SimReport()
         self._executed_subtasks = 0
         #: sampling annotations produced during execute(), consumed when
@@ -116,6 +146,12 @@ class GraphExecutor:
         stage.n_graph_nodes = len(pending_graph)
 
         order = subtask_graph.topological_order()
+        # stamp the structural identity fault injection and retry
+        # accounting key on: (stage_index, priority) is stable across
+        # execution modes and sessions, unlike the process-global keys.
+        self._stage_index += 1
+        for subtask in order:
+            subtask.stage_index = self._stage_index
         if len(order) > self.config.max_idle_steps:
             raise ExecutionHang(
                 "repro", f"subtask graph of {len(order)} nodes exceeds step budget"
@@ -131,7 +167,7 @@ class GraphExecutor:
             )
         else:
             for subtask in order:
-                end = self._run_subtask(
+                end = self._run_subtask_with_recovery(
                     subtask, subtask_graph, completion, base_time, retain,
                     consumers, stage,
                 )
@@ -162,13 +198,25 @@ class GraphExecutor:
         dispatcher.start()
         try:
             for subtask in order:
-                computed = dispatcher.wait_for(subtask.key)
-                end = self._run_subtask(
+                computed: SubtaskComputation | None
+                try:
+                    computed = dispatcher.wait_for(subtask.key)
+                except _RETRYABLE:
+                    # the compute phase raced a fault deletion; recover
+                    # inline on this thread — the retry wrapper re-runs
+                    # the kernels serially, and since the storage state
+                    # at each accounting position is identical across
+                    # modes, the retry/recovery accounting is too.
+                    computed = None
+                end = self._run_subtask_with_recovery(
                     subtask, graph, completion, base_time, retain,
                     consumers, stage, computed=computed,
                 )
                 completion[subtask.key] = end
-                dispatcher.discard(subtask.key)
+                if computed is None:
+                    dispatcher.resolve(subtask)
+                else:
+                    dispatcher.discard(subtask.key)
         finally:
             dispatcher.shutdown()
 
@@ -208,12 +256,169 @@ class GraphExecutor:
         }
         return SubtaskComputation(op_results, op_extra, outputs)
 
+    # -- fault recovery -------------------------------------------------
+    def _run_subtask_with_recovery(
+            self, subtask: Subtask, graph: DAG[Subtask],
+            completion: dict[str, float], base_time: float,
+            retain: set[str], consumers: dict[str, int], stage: SimReport,
+            computed: SubtaskComputation | None = None) -> float:
+        """Retry loop around :meth:`_run_subtask`.
+
+        Runs entirely on the accounting thread in both execution modes,
+        so injection draws, retries, backoff and lineage recomputation
+        happen in the same deterministic order serially and in parallel.
+        Each failed attempt charges exponential backoff to the subtask's
+        simulated start time; a retryable failure past the budget raises
+        :class:`RetriesExhausted` instead of looping or hanging.
+        """
+        injector = self.cluster.faults
+        if not injector.enabled:
+            end = self._run_subtask(subtask, graph, completion, base_time,
+                                    retain, consumers, stage,
+                                    computed=computed)
+            self.recovery.record(subtask)
+            return end
+        spec = injector.spec
+        ident = (subtask.stage_index, subtask.priority)
+        extra_delay = 0.0
+        while True:
+            attempt = self._attempts.get(ident, 0)
+            try:
+                if injector.fail_compute(subtask, attempt):
+                    raise FaultInjected("compute", subtask.key)
+                missing = [key for key in subtask.input_keys
+                           if not self.storage.contains(key)]
+                if missing:
+                    raise ChunkLostError(missing)
+                end = self._run_subtask(
+                    subtask, graph, completion, base_time, retain,
+                    consumers, stage, computed=computed,
+                    extra_delay=extra_delay,
+                )
+            except _RETRYABLE as exc:
+                self._attempts[ident] = attempt + 1
+                if attempt >= spec.max_retries:
+                    raise RetriesExhausted(
+                        subtask.key, attempt + 1, exc
+                    ) from exc
+                stage.retries += 1
+                backoff = spec.backoff_base * spec.backoff_factor ** attempt
+                extra_delay += backoff
+                stage.backoff_time += backoff
+                # a precomputed record may predate the failure; re-run
+                # the (pure, deterministic) kernels inline instead.
+                computed = None
+                lost = _lost_keys(exc)
+                if lost:
+                    self._recover_lost(lost, base_time, stage)
+                continue
+            self.recovery.record(subtask)
+            self._inject_post_subtask(subtask, stage)
+            return end
+
+    def _recover_lost(self, keys: list[str], base_time: float,
+                      stage: SimReport) -> None:
+        """Re-execute the minimal lineage closure that restores ``keys``.
+
+        The plan walks backwards to producers whose outputs are gone —
+        including transitively, e.g. shuffle-map partitions freed by
+        refcounting — and re-runs them in (stage, priority) order.
+        Recovery re-executions skip refcount cleanup and post-subtask
+        injection, so they converge even at 100% loss rates.
+        """
+        plan = self.recovery.plan(keys, self.storage.contains)
+        for producer in plan:
+            self._run_subtask(
+                producer, None, {}, base_time, set(), {}, stage,
+                recovering=True,
+            )
+            stage.recomputed_subtasks += 1
+
+    def _inject_post_subtask(self, subtask: Subtask,
+                             stage: SimReport) -> None:
+        """Post-success injection points: chunk drops and worker kills.
+
+        Only first-runs reach this (never recovery re-executions), and
+        lineage for the subtask is recorded beforehand, so everything
+        lost here is recomputable.
+        """
+        injector = self.cluster.faults
+        for out_index, key in enumerate(subtask.output_keys):
+            if injector.drop_chunk(subtask, out_index, key):
+                self._lose_chunk(key)
+        if injector.kill_worker_after(subtask):
+            band = self.cluster.band_by_name(subtask.band)
+            self._kill_worker(band.worker, stage)
+
+    def _lose_chunk(self, key: str) -> None:
+        # Fault loss deletes the data but keeps any shuffle index entry:
+        # metadata outlives data loss, and when lineage recovery re-runs
+        # the mapper, ``register_partition`` replaces the stale entry
+        # (that is the re-registration path the lifecycle tests pin).
+        # Refcount frees, by contrast, forget the index eagerly.
+        self.storage.delete(key)
+        self.scheduler.forget_chunk(key)
+
+    def _kill_worker(self, worker: str, stage: SimReport) -> None:
+        """Simulate a worker crash right after a subtask completed.
+
+        Every chunk resident on the worker that has recorded lineage is
+        lost (recomputable on demand); chunks without lineage are
+        driver-held inputs and survive. The worker's bands sit out the
+        configured restart time before accepting more work.
+        """
+        for key in list(self.storage.keys_on(worker)):
+            if self.recovery.producer_of(key) is None:
+                continue
+            self._lose_chunk(key)
+        restart = self.cluster.faults.spec.worker_restart_time
+        for band in self.cluster.bands:
+            if band.worker == worker:
+                self.cluster.clock.delay_band(band.name, restart)
+
+    def ensure_available(self, keys) -> None:
+        """Recompute any of ``keys`` missing from storage.
+
+        Fetch-time recovery: a worker kill may take user-visible chunks
+        after their producing stage finished; sessions call this before
+        assembling results so a fetch never dies on a recoverable loss.
+        """
+        missing = [key for key in keys if not self.storage.contains(key)]
+        if not missing:
+            return
+        stage = SimReport()
+        self._recover_lost(missing, self.cluster.clock.now, stage)
+        self.report.recomputed_subtasks += stage.recomputed_subtasks
+        self.report.recovery_bytes += stage.recovery_bytes
+        self.report.total_compute_seconds += stage.total_compute_seconds
+
     # ------------------------------------------------------------------
-    def _run_subtask(self, subtask: Subtask, graph: DAG[Subtask],
+    def _run_subtask(self, subtask: Subtask, graph: DAG[Subtask] | None,
                      completion: dict[str, float], base_time: float,
                      retain: set[str], consumers: dict[str, int],
                      stage: SimReport,
-                     computed: SubtaskComputation | None = None) -> float:
+                     computed: SubtaskComputation | None = None,
+                     recovering: bool = False,
+                     extra_delay: float = 0.0) -> float:
+        # pin inputs for the whole accounting span: memory admission and
+        # output spill must never evict what this subtask is reading
+        # (in-flight inputs are not spill victims).
+        self.storage.pin(subtask.input_keys)
+        try:
+            return self._run_subtask_inner(
+                subtask, graph, completion, base_time, retain, consumers,
+                stage, computed, recovering, extra_delay,
+            )
+        finally:
+            self.storage.unpin(subtask.input_keys)
+
+    def _run_subtask_inner(self, subtask: Subtask, graph: DAG[Subtask] | None,
+                           completion: dict[str, float], base_time: float,
+                           retain: set[str], consumers: dict[str, int],
+                           stage: SimReport,
+                           computed: SubtaskComputation | None,
+                           recovering: bool,
+                           extra_delay: float) -> float:
         band = self.cluster.band_by_name(subtask.band)
         worker = band.worker
         tracker = self.cluster.memory[worker]
@@ -236,8 +441,9 @@ class GraphExecutor:
         transferred = 0
         disk_bytes = 0
         ready_time = base_time
-        for pred in graph.predecessors(subtask):
-            ready_time = max(ready_time, completion[pred.key])
+        if graph is not None:
+            for pred in graph.predecessors(subtask):
+                ready_time = max(ready_time, completion[pred.key])
         infos = self.storage.get_many(subtask.input_keys, worker)
         for key, info in zip(subtask.input_keys, infos):
             env[key] = info.value
@@ -248,6 +454,9 @@ class GraphExecutor:
                 disk_bytes += info.nbytes
             if key in self.chunk_ready_at:
                 ready_time = max(ready_time, self.chunk_ready_at[key])
+        # failed attempts delay the retry's start: backoff is simulated
+        # time the subtask spends waiting, not band busy time.
+        ready_time += extra_delay
 
         # -- execute steps ---------------------------------------------------
         steps = plan_subtask(subtask, enable=self.config.operator_fusion)
@@ -261,6 +470,17 @@ class GraphExecutor:
         # like any real executor frees intermediates.
         env_bytes = input_bytes
         env_peak = input_bytes
+
+        def _env_store(key: str, value: Any) -> None:
+            # overwriting a key must not double-count: release the old
+            # value's bytes (and its stale cached size) first.
+            nonlocal env_bytes
+            if key in env:
+                env_bytes -= sized(key, env[key])
+                sizes.pop(key, None)
+            env[key] = value
+            env_bytes += sized(key, value)
+
         output_key_set = set(subtask.output_keys)
         remaining_consumers: dict[str, int] = defaultdict(int)
         counted_ops: set[int] = set()
@@ -291,11 +511,10 @@ class GraphExecutor:
                 if isinstance(result, dict) and result and all(
                     k in {o.key for o in op.outputs} for k in result
                 ):
-                    env.update(result)
-                    env_bytes += sum(sized(k, v) for k, v in result.items())
+                    for out_key, value in result.items():
+                        _env_store(out_key, value)
                 else:
-                    env[op.outputs[0].key] = result
-                    env_bytes += sized(op.outputs[0].key, result)
+                    _env_store(op.outputs[0].key, result)
                 env_peak = max(env_peak, env_bytes)
                 for dep in op.inputs:
                     remaining_consumers[dep.key] -= 1
@@ -356,6 +575,9 @@ class GraphExecutor:
                     chunk.op.shuffle_id, int(chunk.index[0]),
                     int(chunk.index[1]), key, worker, stored,
                 )
+            if recovering:
+                stage.recovery_bytes += stored
+                self.scheduler.record_chunk(key, subtask.band)
             extra = self._pending_extra.pop(key, None)
             self.meta.set_from_value(key, env[key], extra=extra)
 
@@ -379,13 +601,17 @@ class GraphExecutor:
         # eager engines (eager_release=False) pin user-visible intermediate
         # frames (terminal chunks) but still free internal stage chunks
         # (map partials, shuffle partitions), like Ray's reference counting.
-        for key in subtask.input_keys:
-            consumers[key] -= 1
-            if consumers[key] <= 0 and key not in retain:
-                if self.config.eager_release or not self._terminal_keys.get(key, False):
-                    self.storage.delete(key)
-                    if self.shuffle is not None:
-                        self.shuffle.forget_key(key)
+        # Recovery re-executions skip this: the original run already
+        # consumed its inputs' refcounts, decrementing again would free
+        # chunks other consumers still need.
+        if not recovering:
+            for key in subtask.input_keys:
+                consumers[key] -= 1
+                if consumers[key] <= 0 and key not in retain:
+                    if self.config.eager_release or not self._terminal_keys.get(key, False):
+                        self.storage.delete(key)
+                        if self.shuffle is not None:
+                            self.shuffle.forget_key(key)
         return end
 
     # ------------------------------------------------------------------
@@ -414,6 +640,10 @@ class GraphExecutor:
         report.combine_dropped_rows += stage.combine_dropped_rows
         report.n_subtasks += stage.n_subtasks
         report.n_graph_nodes += stage.n_graph_nodes
+        report.retries += stage.retries
+        report.recomputed_subtasks += stage.recomputed_subtasks
+        report.recovery_bytes += stage.recovery_bytes
+        report.backoff_time += stage.backoff_time
         for worker, peak in stage.peak_memory.items():
             report.peak_memory[worker] = max(report.peak_memory.get(worker, 0), peak)
         report.band_busy = dict(stage.band_busy)

@@ -23,19 +23,38 @@ from .meta import ChunkMeta, MetaService
 class TileContext:
     """What an operator may consult while tiling."""
 
-    def __init__(self, config: Config, meta: MetaService, storage=None):
+    def __init__(self, config: Config, meta: MetaService, storage=None,
+                 executor=None):
         self.config = config
         self.meta = meta
         self._storage = storage
+        self._executor = executor
+
+    def _recoverable(self, chunk_key: str) -> bool:
+        """A fault took this executed chunk, but lineage can restore it.
+
+        Gated on the injector being enabled so fault-free sessions keep
+        the exact pre-recovery semantics: tiling decisions must not
+        change when no chaos is configured.
+        """
+        return (
+            self._executor is not None
+            and self._executor.cluster.faults.enabled
+            and self._executor.recovery.producer_of(chunk_key) is not None
+        )
 
     def has_value(self, chunk_key: str) -> bool:
         """True when the chunk's value currently sits in storage.
 
         Metadata can outlive the value (reference counting frees consumed
         chunks), so sampling code must check this — not ``meta.has`` —
-        before ``peek``-ing.
+        before ``peek``-ing. Under fault injection a chunk that was
+        executed but lost still counts: ``peek`` recovers it, so tiling
+        takes the same branch it would in a fault-free run.
         """
-        return self._storage is not None and self._storage.contains(chunk_key)
+        if self._storage is not None and self._storage.contains(chunk_key):
+            return True
+        return self._recoverable(chunk_key)
 
     def peek(self, chunk_key: str) -> Any:
         """Read an *executed* chunk's value (e.g. sampled key quantiles).
@@ -46,6 +65,9 @@ class TileContext:
         """
         if self._storage is None:
             raise RuntimeError("tile context has no storage attached")
+        if not self._storage.contains(chunk_key) and self._recoverable(
+                chunk_key):
+            self._executor.ensure_available([chunk_key])
         return self._storage.peek(chunk_key)
 
     def chunk_meta(self, chunk: ChunkData) -> Optional[ChunkMeta]:

@@ -104,3 +104,11 @@ class Scheduler:
 
     def record_chunk(self, key: str, band: str) -> None:
         self.chunk_band[key] = band
+
+    def forget_chunk(self, key: str) -> None:
+        """Drop a lost chunk's placement so locality never chases dead data.
+
+        Called when fault injection drops a chunk or kills a worker;
+        recovery re-records the placement when the chunk is recomputed.
+        """
+        self.chunk_band.pop(key, None)

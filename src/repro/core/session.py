@@ -42,6 +42,12 @@ class RunReport:
     n_subtasks: int = 0
     n_graph_nodes: int = 0
     dynamic_yields: int = 0
+    #: fault recovery (zero in fault-free runs): failed attempts retried,
+    #: lineage re-executions, bytes restored, simulated backoff waited.
+    retries: int = 0
+    recomputed_subtasks: int = 0
+    recovery_bytes: int = 0
+    backoff_time: float = 0.0
     peak_memory: dict[str, int] = field(default_factory=dict)
 
 
@@ -110,6 +116,10 @@ class Session:
         nodes0 = self.executor.report.n_graph_nodes
         shuffle0 = self.executor.report.total_shuffle_bytes
         combine0 = self.executor.report.combine_dropped_rows
+        retries0 = self.executor.report.retries
+        recomputed0 = self.executor.report.recomputed_subtasks
+        recovered0 = self.executor.report.recovery_bytes
+        backoff0 = self.executor.report.backoff_time
 
         previous_mode = self.executor.parallel_mode
         if parallel is not None:
@@ -126,6 +136,10 @@ class Session:
         finally:
             self.executor.parallel_mode = previous_mode
 
+        # fetch before building the report: fetch-time recovery of lost
+        # terminal chunks must land in this run's recovery accounting.
+        values = [self.fetch(t) for t in tileables]
+
         self.last_report = RunReport(
             makespan=self.cluster.clock.makespan - t0,
             transferred_bytes=self.storage.total_transferred_bytes - transfer0,
@@ -137,9 +151,14 @@ class Session:
             n_subtasks=self.executor.report.n_subtasks - subtasks0,
             n_graph_nodes=self.executor.report.n_graph_nodes - nodes0,
             dynamic_yields=self.tiler.yield_count - yields0,
+            retries=self.executor.report.retries - retries0,
+            recomputed_subtasks=(
+                self.executor.report.recomputed_subtasks - recomputed0
+            ),
+            recovery_bytes=self.executor.report.recovery_bytes - recovered0,
+            backoff_time=self.executor.report.backoff_time - backoff0,
             peak_memory=self.cluster.peak_memory(),
         )
-        values = [self.fetch(t) for t in tileables]
         for tileable in tileables:
             self._actor_ref.record_execution(tileable.key)
         return values
@@ -151,6 +170,11 @@ class Session:
             raise SessionError(
                 f"tileable {tileable.key} is not tiled; call execute() first"
             )
+        # fetch-time recovery: a fault may have taken terminal chunks
+        # after their producing stage completed.
+        self.executor.ensure_available(
+            [chunk.key for chunk in tileable.chunks]
+        )
         values = {
             chunk.index: self.storage.peek(chunk.key)
             for chunk in tileable.chunks

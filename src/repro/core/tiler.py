@@ -101,7 +101,8 @@ class TilingEngine:
         ``executor.execute`` pass, which the session performs.
         """
         ctx = TileContext(self.config, self.meta,
-                          storage=self.executor.storage)
+                          storage=self.executor.storage,
+                          executor=self.executor)
         for tileable in tileable_graph.topological_order():
             if tileable.is_tiled or tileable.op is None:
                 continue

@@ -107,6 +107,26 @@ def memory_report(session: Session) -> str:
     return "\n".join(lines)
 
 
+def recovery_report(session: Session) -> str:
+    """Fault-recovery state: injected events, retries, recomputation."""
+    injector = session.cluster.faults
+    report = session.executor.report
+    lines = [
+        "fault recovery:",
+        f"  injected events:     {len(injector.events)}",
+        f"  retries:             {report.retries}",
+        f"  recomputed subtasks: {report.recomputed_subtasks}",
+        f"  recovery bytes:      {human_bytes(report.recovery_bytes)}",
+        f"  backoff time:        {report.backoff_time:.4f}s",
+    ]
+    for event in injector.events[-10:]:
+        lines.append(
+            f"    [{event.point}] {event.target} "
+            f"(stage {event.stage}, priority {event.priority})"
+        )
+    return "\n".join(lines)
+
+
 def session_summary(session: Session) -> str:
     """Everything at a glance: last run, bands, memory."""
     report = session.last_report
@@ -116,4 +136,7 @@ def session_summary(session: Session) -> str:
         f"{report.dynamic_yields} dynamic-tiling switches, "
         f"makespan {report.makespan:.4f}s"
     )
-    return "\n\n".join([head, band_timeline(session), memory_report(session)])
+    parts = [head, band_timeline(session), memory_report(session)]
+    if report.retries or report.recomputed_subtasks:
+        parts.append(recovery_report(session))
+    return "\n\n".join(parts)

@@ -66,6 +66,69 @@ class StorageKeyError(ReproError, KeyError):
     """A chunk key was not found in any storage tier."""
 
 
+class FaultInjected(ReproError):
+    """A deterministic fault-injection point fired (chaos testing).
+
+    Retryable: the recovery layer re-attempts the subtask with exponential
+    backoff charged to the simulated clock.
+    """
+
+    def __init__(self, point: str, target: str):
+        self.point = point
+        self.target = target
+        super().__init__(f"injected fault at {point!r} on {target!r}")
+
+
+class ChunkLostError(ReproError):
+    """Input chunks vanished from storage (dropped chunk or killed worker).
+
+    Retryable: lineage recovery recomputes the missing producers and the
+    consumer is re-attempted.
+    """
+
+    def __init__(self, keys):
+        self.keys = list(keys)
+        super().__init__(
+            f"lost {len(self.keys)} chunk(s): {', '.join(self.keys[:4])}"
+            + ("..." if len(self.keys) > 4 else "")
+        )
+
+
+class UnrecoverableChunkLoss(ReproError):
+    """A lost chunk has no recorded lineage, so it cannot be recomputed."""
+
+    def __init__(self, key: str):
+        self.key = key
+        super().__init__(f"chunk {key!r} was lost and has no lineage to recompute it")
+
+
+class RetriesExhausted(ReproError):
+    """A subtask kept failing past its retry budget.
+
+    Carries the last underlying failure; raised instead of hanging so the
+    benchmark harness can classify the run as failed.
+    """
+
+    def __init__(self, subtask_key: str, attempts: int,
+                 last_error: BaseException | None = None):
+        self.subtask_key = subtask_key
+        self.attempts = attempts
+        self.last_error = last_error
+        detail = f" (last error: {last_error})" if last_error is not None else ""
+        super().__init__(
+            f"subtask {subtask_key!r} failed {attempts} attempts{detail}"
+        )
+
+
+class DispatcherError(ReproError):
+    """The band-runner dispatcher died or was stopped with waiters pending.
+
+    Raised to every ``wait_for`` caller instead of blocking forever when a
+    runner thread fails outside a subtask's own compute (pool shutdown,
+    completion bookkeeping error).
+    """
+
+
 class StorageFull(ReproError):
     """A storage tier cannot accept more data and spilling is disabled."""
 

@@ -19,7 +19,7 @@ class Subtask:
 
     __slots__ = (
         "key", "chunks", "input_keys", "output_keys", "band",
-        "priority", "virtual_cost", "_hash",
+        "priority", "virtual_cost", "stage_index", "_hash",
     )
 
     def __init__(self, chunks: list[ChunkData]):
@@ -45,6 +45,12 @@ class Subtask:
         self.band: Optional[str] = None
         self.priority: int = 0
         self.virtual_cost: float = 0.0
+        #: index of the execution stage that first ran this subtask.
+        #: Together with ``priority`` (topological position) it forms the
+        #: *structural identity* fault injection and retry accounting key
+        #: on — stable across sessions and execution modes, unlike the
+        #: process-global ``key``.
+        self.stage_index: int = 0
 
     @property
     def n_ops(self) -> int:

@@ -50,7 +50,16 @@ class StorageService:
         self._remote = RemoteBackend()
         #: key -> (worker_name, StorageLevel); remote uses worker_name "".
         self._locations: dict[str, tuple[str, StorageLevel]] = {}
+        #: key -> pin count. Pinned chunks are never spill victims: the
+        #: executor pins a subtask's inputs for the whole accounting span
+        #: so admission/spill for one band cannot evict what another band
+        #: (or the subtask itself) is currently reading.
+        self._pins: dict[str, int] = {}
         self.total_spilled_bytes = 0
+        #: bytes spilled by admissions that still ended in
+        #: WorkerOutOfMemory — kept out of ``total_spilled_bytes`` so the
+        #: spill metric reflects only spills that bought an admission.
+        self.failed_admission_spill_bytes = 0
         self.total_transferred_bytes = 0
 
     # -- writes -----------------------------------------------------------
@@ -101,18 +110,34 @@ class StorageService:
             self._spill_until_fits(worker, nbytes)
 
     def _spill_until_fits(self, worker: str, nbytes: int) -> None:
-        """Move least-recently-used chunks of ``worker`` to its disk tier."""
+        """Move least-recently-used *unpinned* chunks of ``worker`` to disk.
+
+        Pinned chunks (inputs of an in-flight subtask) are never victims.
+        If the budget still cannot fit after spilling every candidate,
+        the partial spill is charged to ``failed_admission_spill_bytes``
+        instead of ``total_spilled_bytes`` and
+        :class:`WorkerOutOfMemory` propagates — a failed admission must
+        not inflate the successful-spill metric.
+        """
         tracker = self.cluster.memory[worker]
         lru = self._lru[worker]
-        while not tracker.can_fit(nbytes) and lru:
-            victim_key, _ = lru.popitem(last=False)
+        spilled_now = 0
+        for victim_key in list(lru):
+            if tracker.can_fit(nbytes):
+                break
+            if self._pins.get(victim_key):
+                continue
+            del lru[victim_key]
             item = self._memory[worker].delete(victim_key)
             tracker.release(item.nbytes)
             item.level = StorageLevel.DISK
             self._disk[worker].put(item)
             self._locations[victim_key] = (worker, StorageLevel.DISK)
-            self.total_spilled_bytes += item.nbytes
-        if not tracker.can_fit(nbytes):
+            spilled_now += item.nbytes
+        if tracker.can_fit(nbytes):
+            self.total_spilled_bytes += spilled_now
+        else:
+            self.failed_admission_spill_bytes += spilled_now
             raise WorkerOutOfMemory(worker, nbytes, tracker.limit, tracker.used)
 
     # -- reads ------------------------------------------------------------
@@ -182,6 +207,33 @@ class StorageService:
             worker, level = location
             return self._backend_for(worker, level).get(key).value
 
+    # -- pinning ------------------------------------------------------------
+    def pin(self, keys) -> None:
+        """Protect ``keys`` from LRU spill while a subtask reads them.
+
+        Counted, so nested pins (a chunk read by two in-flight subtasks)
+        survive the first unpin.
+        """
+        with self._lock:
+            for key in keys:
+                self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, keys) -> None:
+        """Release one pin level on each of ``keys``."""
+        with self._lock:
+            for key in keys:
+                count = self._pins.get(key)
+                if count is None:
+                    continue
+                if count <= 1:
+                    del self._pins[key]
+                else:
+                    self._pins[key] = count - 1
+
+    def is_pinned(self, key: str) -> bool:
+        with self._lock:
+            return bool(self._pins.get(key))
+
     # -- bookkeeping --------------------------------------------------------
     def contains(self, key: str) -> bool:
         return key in self._locations
@@ -230,3 +282,4 @@ class StorageService:
         with self._lock:
             for key in list(self._locations):
                 self.delete(key)
+            self._pins.clear()

@@ -43,6 +43,10 @@ class ShuffleManager:
         self.gather_scanned = 0
         #: diagnostics: storage reads issued by gathers (== scanned).
         self.gather_fetches = 0
+        #: diagnostics: partitions registered again under a key that was
+        #: already indexed — i.e. mapper re-execution during fault
+        #: recovery replacing a stale entry.
+        self.reregistered_partitions = 0
 
     # -- mapper side ------------------------------------------------------
     def register_partition(self, shuffle_id: str, mapper: int, reducer: int,
@@ -54,6 +58,7 @@ class ShuffleManager:
         stale entry.
         """
         if key in self._key_index:
+            self.reregistered_partitions += 1
             self.forget_key(key)
         parts = self._by_reducer.setdefault(shuffle_id, {}).setdefault(
             reducer, []
