@@ -67,6 +67,19 @@ class MemoryTracker:
             self.used += nbytes
             self.peak = max(self.peak, self.used)
 
+    def set_limit(self, limit: int) -> None:
+        """Change the budget in place (transient memory-squeeze faults).
+
+        ``used`` may legally exceed a shrunken limit: residents are not
+        evicted here — admission/spill react to the squeezed budget on
+        the next allocation attempt.
+        """
+        limit = int(limit)
+        if limit <= 0:
+            raise ValueError("memory limit must be positive")
+        with self._lock:
+            self.limit = limit
+
     def note_transient(self, nbytes: int) -> None:
         """Record a transient working set in the peak watermark without
         allocating it (execution scratch space that is gone afterwards)."""

@@ -38,6 +38,16 @@ class SimReport:
     recovery_bytes: int = 0
     #: virtual seconds of retry backoff charged to the simulated clock.
     backoff_time: float = 0.0
+    #: OOM-ladder retry attempts (force-spill / reschedule / degrade).
+    oom_retries: int = 0
+    #: virtual seconds subtasks waited for a memory admission grant.
+    admission_wait_time: float = 0.0
+    #: subtasks executed under a degraded (serialized) worker.
+    degraded_subtasks: int = 0
+    #: memory-aware re-tiling passes taken after the OOM ladder ran dry.
+    pressure_splits: int = 0
+    #: bytes force-spilled by the OOM ladder's first rung.
+    forced_spill_bytes: int = 0
     peak_memory: dict[str, int] = field(default_factory=dict)
     band_busy: dict[str, float] = field(default_factory=dict)
 
@@ -61,6 +71,11 @@ class SimReport:
         self.recomputed_subtasks += other.recomputed_subtasks
         self.recovery_bytes += other.recovery_bytes
         self.backoff_time += other.backoff_time
+        self.oom_retries += other.oom_retries
+        self.admission_wait_time += other.admission_wait_time
+        self.degraded_subtasks += other.degraded_subtasks
+        self.pressure_splits += other.pressure_splits
+        self.forced_spill_bytes += other.forced_spill_bytes
         for worker, peak in other.peak_memory.items():
             self.peak_memory[worker] = max(self.peak_memory.get(worker, 0), peak)
         for band, busy in other.band_busy.items():

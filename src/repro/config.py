@@ -74,11 +74,19 @@ class FaultSpec:
     #: virtual seconds a killed worker's bands are unavailable while the
     #: process restarts.
     worker_restart_time: float = 0.25
+    #: probability that a worker's memory budget is transiently squeezed
+    #: (multiplied by ``memory_squeeze_factor``) for the duration of one
+    #: subtask's admission/execution — models a neighbour process eating
+    #: RAM. Drawn on the same structural identity as the other faults.
+    memory_squeeze_rate: float = 0.0
+    #: the squeezed budget is ``factor * limit`` while the fault is active.
+    memory_squeeze_factor: float = 0.5
 
     @property
     def any_rate(self) -> bool:
         return (self.compute_fault_rate > 0.0 or self.chunk_loss_rate > 0.0
-                or self.worker_kill_rate > 0.0)
+                or self.worker_kill_rate > 0.0
+                or self.memory_squeeze_rate > 0.0)
 
 
 @dataclass
@@ -145,6 +153,21 @@ class Config:
     #: Eager engines (Modin-like) materialize and pin every intermediate
     #: result instead — the accumulation that kills their workers at scale.
     eager_release: bool = True
+    #: memory-pressure backpressure: before a subtask starts, its
+    #: estimated footprint must be granted by the per-worker
+    #: ``MemoryAdmission`` ledger; when concurrent working sets would
+    #: exceed the worker budget the subtask *waits* in virtual time
+    #: (``admission_wait_time``) instead of dispatching into an OOM.
+    #: Off reproduces the seed engine's dispatch-and-pray behaviour.
+    admission_control: bool = True
+    #: OOM recovery ladder: on WorkerOutOfMemory escalate through
+    #: force-spill → reschedule to the freest worker → degrade the worker
+    #: to serial execution → memory-aware re-tiling. Off makes OOM fatal
+    #: (the seed behaviour).
+    oom_recovery: bool = True
+    #: how many times a session may halve ``chunk_store_limit`` and
+    #: re-tile after the executor's OOM ladder is exhausted.
+    pressure_retile_limit: int = 3
 
     # --- cluster & costs ----------------------------------------------------
     cluster: ClusterSpec = field(default_factory=ClusterSpec)

@@ -119,14 +119,24 @@ class BandDispatcher:
     def __init__(self, graph: DAG[Subtask], order: list[Subtask],
                  compute: Callable[[Subtask, dict[str, Any]], SubtaskComputation],
                  fetch: Callable[[str], Any],
-                 pool: ThreadPoolExecutor | None = None):
+                 pool: ThreadPoolExecutor | None = None,
+                 gate=None):
         self._graph = graph
         self._order = order
         self._compute = compute
         self._fetch = fetch
         self._pool = pool if pool is not None else shared_pool()
+        #: optional wall-clock memory gate (``DispatchGate``): a band's
+        #: ready subtask only starts when its estimated footprint fits
+        #: the worker's in-flight budget. Purely reorders real kernel
+        #: execution — simulated numbers never observe it.
+        self._gate = gate
         self._lock = threading.Lock()
         self._event = threading.Condition(self._lock)
+        #: per-key conditions (sharing ``_lock``): ``wait_for`` blocks on
+        #: its key's condition and every state change signals exactly the
+        #: affected keys — no timed polling loops.
+        self._key_conds: dict[str, threading.Condition] = {}
         self._position = {s.key: i for i, s in enumerate(order)}
         self._indegree = {s.key: graph.in_degree(s) for s in order}
         self._records: dict[str, SubtaskComputation] = {}
@@ -171,32 +181,43 @@ class BandDispatcher:
         dispatcher, or a stalled graph (nothing in flight and nothing
         queued while ``key`` is still absent) all raise
         :class:`DispatcherError` instead of hanging the caller.
+
+        Blocking is per-key condition signaling, not a poll loop: every
+        completion/failure/poison/stop notifies the affected keys' (or
+        all) conditions; the long timeout below is a pure watchdog
+        against a runner thread vanishing without reporting.
         """
-        with self._event:
-            while True:
-                error = self._errors.get(key)
-                if error is not None:
-                    raise error
-                record = self._records.get(key)
-                if record is not None:
-                    return record
-                if self._poisoned is not None:
-                    raise DispatcherError(
-                        f"band runner pool failed while waiting for {key!r}: "
-                        f"{self._poisoned!r}"
-                    ) from self._poisoned
-                if self._stopped:
-                    raise DispatcherError(
-                        f"dispatcher stopped while waiting for {key!r}"
-                    )
-                if self._inflight == 0 and not any(
-                    self._band_queues.values()
-                ):
-                    raise DispatcherError(
-                        f"dispatcher stalled waiting for {key!r}: nothing "
-                        "in flight and nothing queued"
-                    )
-                self._event.wait(timeout=0.1)
+        with self._lock:
+            cond = self._key_conds.get(key)
+            if cond is None:
+                cond = self._key_conds[key] = threading.Condition(self._lock)
+            try:
+                while True:
+                    error = self._errors.get(key)
+                    if error is not None:
+                        raise error
+                    record = self._records.get(key)
+                    if record is not None:
+                        return record
+                    if self._poisoned is not None:
+                        raise DispatcherError(
+                            f"band runner pool failed while waiting for "
+                            f"{key!r}: {self._poisoned!r}"
+                        ) from self._poisoned
+                    if self._stopped:
+                        raise DispatcherError(
+                            f"dispatcher stopped while waiting for {key!r}"
+                        )
+                    if self._inflight == 0 and not any(
+                        self._band_queues.values()
+                    ):
+                        raise DispatcherError(
+                            f"dispatcher stalled waiting for {key!r}: nothing "
+                            "in flight and nothing queued"
+                        )
+                    cond.wait(timeout=60.0)
+            finally:
+                self._key_conds.pop(key, None)
 
     def resolve(self, subtask: Subtask) -> None:
         """Clear a failed subtask the caller has recovered inline.
@@ -231,6 +252,7 @@ class BandDispatcher:
                     self._enqueue(succ)
             self._dispatch_ready()
             self._event.notify_all()
+            self._signal_keys()
 
     def discard(self, key: str) -> None:
         """Drop a consumed record so intermediates can be collected."""
@@ -240,28 +262,38 @@ class BandDispatcher:
     def shutdown(self) -> None:
         """Stop dispatching new work and wait for in-flight computes.
 
-        Bounded: a poisoned pool or a runner thread that vanished
-        without reporting completion (no progress for ~30s) stops the
-        wait instead of deadlocking the caller.
+        Event-driven: every completion notifies the dispatcher
+        condition, so the wait wakes exactly when progress happens; the
+        timeout is a watchdog for a runner thread that vanished without
+        reporting completion (~30s of zero progress stops the wait
+        instead of deadlocking the caller).
         """
         with self._event:
             self._stopped = True
-            idle_rounds = 0
+            self._signal_keys()
             while self._inflight > 0 and self._poisoned is None:
                 before = self._inflight
-                notified = self._event.wait(timeout=0.5)
+                notified = self._event.wait(timeout=30.0)
                 if notified or self._inflight != before:
-                    idle_rounds = 0
                     continue
-                idle_rounds += 1
-                if idle_rounds >= 60:
-                    break
+                break
             self._records.clear()
             self._values.clear()
             for queue in self._band_queues.values():
                 queue.clear()
 
     # -- internals (all called with self._lock held) ---------------------
+    def _signal_keys(self, keys=None) -> None:
+        """Wake waiters: the given keys' conditions, or every waiter."""
+        if keys is None:
+            for cond in self._key_conds.values():
+                cond.notify_all()
+            return
+        for key in keys:
+            cond = self._key_conds.get(key)
+            if cond is not None:
+                cond.notify_all()
+
     def _enqueue(self, subtask: Subtask) -> None:
         band = subtask.band or ""
         queue = self._band_queues.setdefault(band, [])
@@ -275,7 +307,13 @@ class BandDispatcher:
             return
         for band, queue in self._band_queues.items():
             if queue and band not in self._band_busy:
-                _, _, subtask = heapq.heappop(queue)
+                # peek before popping: a gate refusal leaves the subtask
+                # queued for the next completion's dispatch round. The
+                # gate's idle-worker guard guarantees progress.
+                subtask = queue[0][2]
+                if self._gate is not None and not self._gate.try_start(subtask):
+                    continue
+                heapq.heappop(queue)
                 self._band_busy.add(band)
                 self._inflight += 1
                 try:
@@ -283,6 +321,8 @@ class BandDispatcher:
                 except BaseException as exc:  # pool shut down / saturated
                     self._inflight -= 1
                     self._band_busy.discard(band)
+                    if self._gate is not None:
+                        self._gate.finish(subtask)
                     self._set_poisoned(exc)
                     return
 
@@ -321,6 +361,8 @@ class BandDispatcher:
         with self._event:
             self._inflight -= 1
             self._band_busy.discard(subtask.band or "")
+            if self._gate is not None:
+                self._gate.finish(subtask)
             if error is None:
                 assert record is not None
                 try:
@@ -346,6 +388,12 @@ class BandDispatcher:
                 self._fail(subtask, error)
             self._dispatch_ready()
             self._event.notify_all()
+            if error is None and self._inflight > 0:
+                self._signal_keys([subtask.key])
+            else:
+                # failures poison descendants and a drained pool flips
+                # the stall predicate for every waiter — wake them all.
+                self._signal_keys()
 
     def _fail(self, subtask: Subtask, error: BaseException) -> None:
         # Descendants can never become ready (their indegree never hits
@@ -368,6 +416,7 @@ class BandDispatcher:
         if self._poisoned is None:
             self._poisoned = error
         self._event.notify_all()
+        self._signal_keys()
 
     def _poison_pool(self, error: BaseException) -> None:
         with self._event:

@@ -42,6 +42,7 @@ from ..storage.shuffle import ShuffleManager
 from ..utils import sizeof
 from .dispatch import BandDispatcher, SubtaskComputation, should_use_parallel
 from .fusion import fusion_groups, singleton_groups
+from .memory_control import MemoryPressure, worker_of_band
 from .meta import MetaService
 from .operator import COMBINE_DROPPED_KEY, ExecContext
 from .opfusion import plan_subtask, step_io_keys
@@ -79,6 +80,9 @@ class GraphExecutor:
         self.scheduler = scheduler if scheduler is not None else Scheduler(
             cluster, config
         )
+        #: memory-pressure subsystem: footprint estimator, per-worker
+        #: admission ledger, degraded-worker state, dispatch gates.
+        self.pressure = MemoryPressure(config, cluster, meta, storage)
         #: completion virtual time of every produced chunk key.
         self.chunk_ready_at: dict[str, float] = {}
         #: lineage registry: chunk key -> producing subtask, persisted
@@ -160,23 +164,35 @@ class GraphExecutor:
             parallel = self.parallel_mode
         if parallel is None:
             parallel = self.config.parallel_execution
-        if parallel and should_use_parallel(order, self.config):
-            self._execute_parallel(
-                order, subtask_graph, completion, base_time, retain,
-                consumers, stage,
-            )
-        else:
-            for subtask in order:
-                end = self._run_subtask_with_recovery(
-                    subtask, subtask_graph, completion, base_time, retain,
+        # stage boundary: every grant of a previous stage ended at or
+        # before this stage's base time, so the ledger starts empty.
+        self.pressure.admission.begin_stage()
+        try:
+            if parallel and should_use_parallel(order, self.config):
+                self._execute_parallel(
+                    order, subtask_graph, completion, base_time, retain,
                     consumers, stage,
                 )
-                completion[subtask.key] = end
-        stage.makespan = max(completion.values()) if completion else base_time
-        stage.n_subtasks = len(order)
-        stage.peak_memory = self.cluster.peak_memory()
-        stage.band_busy = dict(self.cluster.clock.band_busy)
-        self._merge_report(stage)
+            else:
+                for subtask in order:
+                    end = self._run_subtask_with_recovery(
+                        subtask, subtask_graph, completion, base_time, retain,
+                        consumers, stage,
+                    )
+                    completion[subtask.key] = end
+        finally:
+            # merge even when a stage dies (RetriesExhausted, an OOM
+            # bubbling to the session's re-tile rung): the partial
+            # stage's retries/waits/spills must survive into the run
+            # report. Identical in both modes — the accounting walk
+            # reached the same position either way.
+            stage.makespan = (
+                max(completion.values()) if completion else base_time
+            )
+            stage.n_subtasks = len(completion)
+            stage.peak_memory = self.cluster.peak_memory()
+            stage.band_busy = dict(self.cluster.clock.band_busy)
+            self._merge_report(stage)
         return stage
 
     # ------------------------------------------------------------------
@@ -191,9 +207,18 @@ class GraphExecutor:
         topological order and performs the exact accounting the serial
         walk would, so every ``SimReport`` field matches serial mode.
         """
+        # wall-clock admission: pool threads must not actually overlap
+        # kernels whose estimated footprints exceed a worker's budget.
+        # Estimates are snapshotted here, on the accounting thread, so
+        # the gate reads no mutable shared state; it never affects any
+        # simulated number (see memory_control.DispatchGate).
+        gate = (
+            self.pressure.dispatch_gate(order)
+            if self.config.admission_control else None
+        )
         dispatcher = BandDispatcher(
             graph, order, self._compute_subtask, self.storage.peek_value,
-            pool=self.cluster.executor_pool(),
+            pool=self.cluster.executor_pool(), gate=gate,
         )
         dispatcher.start()
         try:
@@ -272,49 +297,144 @@ class GraphExecutor:
         :class:`RetriesExhausted` instead of looping or hanging.
         """
         injector = self.cluster.faults
-        if not injector.enabled:
-            end = self._run_subtask(subtask, graph, completion, base_time,
-                                    retain, consumers, stage,
-                                    computed=computed)
-            self.recovery.record(subtask)
-            return end
-        spec = injector.spec
-        ident = (subtask.stage_index, subtask.priority)
-        extra_delay = 0.0
-        while True:
-            attempt = self._attempts.get(ident, 0)
+        squeezed = None
+        squeezed_limit = 0
+        if injector.enabled:
+            factor = injector.squeeze_memory(subtask)
+            if factor is not None:
+                # transient memory squeeze: the subtask's worker loses
+                # part of its budget for the whole admission/ladder span
+                # of this subtask, restored afterwards. Applied on the
+                # accounting thread, so serial and parallel runs squeeze
+                # identically.
+                squeezed = self.cluster.memory[worker_of_band(subtask.band)]
+                squeezed_limit = squeezed.limit
+                squeezed.set_limit(max(1, int(squeezed_limit * factor)))
+        try:
+            if not injector.enabled:
+                end = self._run_guarded(subtask, graph, completion, base_time,
+                                        retain, consumers, stage,
+                                        computed=computed)
+                self.recovery.record(subtask)
+                self.scheduler.note_completed(subtask)
+                return end
+            spec = injector.spec
+            ident = (subtask.stage_index, subtask.priority)
+            extra_delay = 0.0
+            while True:
+                attempt = self._attempts.get(ident, 0)
+                try:
+                    if injector.fail_compute(subtask, attempt):
+                        raise FaultInjected("compute", subtask.key)
+                    missing = [key for key in subtask.input_keys
+                               if not self.storage.contains(key)]
+                    if missing:
+                        raise ChunkLostError(missing)
+                    end = self._run_guarded(
+                        subtask, graph, completion, base_time, retain,
+                        consumers, stage, computed=computed,
+                        extra_delay=extra_delay,
+                    )
+                except _RETRYABLE as exc:
+                    self._attempts[ident] = attempt + 1
+                    if attempt >= spec.max_retries:
+                        raise RetriesExhausted(
+                            subtask.key, attempt + 1, exc
+                        ) from exc
+                    stage.retries += 1
+                    backoff = spec.backoff_base * spec.backoff_factor ** attempt
+                    extra_delay += backoff
+                    stage.backoff_time += backoff
+                    # a precomputed record may predate the failure; re-run
+                    # the (pure, deterministic) kernels inline instead.
+                    computed = None
+                    lost = _lost_keys(exc)
+                    if lost:
+                        self._recover_lost(lost, base_time, stage)
+                    continue
+                self.recovery.record(subtask)
+                self.scheduler.note_completed(subtask)
+                self._inject_post_subtask(subtask, stage)
+                return end
+        finally:
+            if squeezed is not None:
+                squeezed.set_limit(squeezed_limit)
+
+    def _run_guarded(self, subtask: Subtask, graph: DAG[Subtask] | None,
+                     completion: dict[str, float], base_time: float,
+                     retain: set[str], consumers: dict[str, int],
+                     stage: SimReport,
+                     computed: SubtaskComputation | None = None,
+                     recovering: bool = False,
+                     extra_delay: float = 0.0) -> float:
+        """The OOM recovery ladder around :meth:`_run_subtask`.
+
+        On :class:`WorkerOutOfMemory`, escalate deterministically:
+
+        (a) force-spill every unpinned resident of the worker and retry
+            in place;
+        (b) reschedule the subtask onto the worker with the most free
+            memory (its earliest-free band) and retry there;
+        (c) degrade the worker to serial one-subtask-at-a-time execution
+            (exclusive admission) and retry once more;
+        (d) give up locally — the OOM bubbles to ``Session.execute``,
+            which re-enters dynamic tiling with a halved chunk limit
+            (memory-aware re-tiling, counted as ``pressure_splits``).
+
+        Every rung runs on the accounting thread from deterministic
+        state, so the ladder's path — and all its counters — are
+        bit-identical between serial and parallel modes.
+        """
+        try:
+            return self._run_subtask(
+                subtask, graph, completion, base_time, retain, consumers,
+                stage, computed=computed, recovering=recovering,
+                extra_delay=extra_delay,
+            )
+        except WorkerOutOfMemory:
+            if not self.config.oom_recovery:
+                raise
+        worker = worker_of_band(subtask.band)
+        # rung (a): force-spill unpinned residents, retry in place.
+        stage.oom_retries += 1
+        stage.forced_spill_bytes += self.storage.force_spill(worker)
+        try:
+            return self._run_subtask(
+                subtask, graph, completion, base_time, retain, consumers,
+                stage, computed=computed, recovering=recovering,
+                extra_delay=extra_delay,
+            )
+        except WorkerOutOfMemory:
+            pass
+        # rung (b): reschedule onto the freest worker's earliest band.
+        target = self.pressure.freest_worker()
+        if target != worker and not recovering:
+            stage.oom_retries += 1
+            bands = [b.name for b in self.cluster.bands if b.worker == target]
+            new_band = min(
+                bands,
+                key=lambda name: (self.cluster.clock.band_free[name], name),
+            )
+            self.scheduler.reassign(subtask, new_band)
+            worker = target
             try:
-                if injector.fail_compute(subtask, attempt):
-                    raise FaultInjected("compute", subtask.key)
-                missing = [key for key in subtask.input_keys
-                           if not self.storage.contains(key)]
-                if missing:
-                    raise ChunkLostError(missing)
-                end = self._run_subtask(
-                    subtask, graph, completion, base_time, retain,
-                    consumers, stage, computed=computed,
+                return self._run_subtask(
+                    subtask, graph, completion, base_time, retain, consumers,
+                    stage, computed=computed, recovering=recovering,
                     extra_delay=extra_delay,
                 )
-            except _RETRYABLE as exc:
-                self._attempts[ident] = attempt + 1
-                if attempt >= spec.max_retries:
-                    raise RetriesExhausted(
-                        subtask.key, attempt + 1, exc
-                    ) from exc
-                stage.retries += 1
-                backoff = spec.backoff_base * spec.backoff_factor ** attempt
-                extra_delay += backoff
-                stage.backoff_time += backoff
-                # a precomputed record may predate the failure; re-run
-                # the (pure, deterministic) kernels inline instead.
-                computed = None
-                lost = _lost_keys(exc)
-                if lost:
-                    self._recover_lost(lost, base_time, stage)
-                continue
-            self.recovery.record(subtask)
-            self._inject_post_subtask(subtask, stage)
-            return end
+            except WorkerOutOfMemory:
+                pass
+        # rung (c): degrade the worker to one subtask at a time and
+        # retry under exclusive admission; a second failure here means
+        # the subtask cannot fit even alone — escalate to re-tiling (d).
+        stage.oom_retries += 1
+        self.pressure.degrade(worker)
+        return self._run_subtask(
+            subtask, graph, completion, base_time, retain, consumers,
+            stage, computed=computed, recovering=recovering,
+            extra_delay=extra_delay,
+        )
 
     def _recover_lost(self, keys: list[str], base_time: float,
                       stage: SimReport) -> None:
@@ -328,7 +448,7 @@ class GraphExecutor:
         """
         plan = self.recovery.plan(keys, self.storage.contains)
         for producer in plan:
-            self._run_subtask(
+            self._run_guarded(
                 producer, None, {}, base_time, set(), {}, stage,
                 recovering=True,
             )
@@ -547,12 +667,46 @@ class GraphExecutor:
         working_set = int(self.config.peak_factor * max(
             env_peak, input_bytes + output_bytes
         ))
-        if not tracker.can_fit(working_set):
-            if self.config.spill_to_disk:
-                self.storage.ensure_free(worker, working_set)
-            else:
-                raise WorkerOutOfMemory(worker, working_set, tracker.limit,
-                                        tracker.used)
+        decision = None
+        if recovering:
+            # recovery re-executions restore already-accounted data:
+            # they skip the ledger (like they skip refcounting and
+            # injection) but still respect the budget via spill.
+            if not tracker.can_fit(working_set):
+                if self.config.spill_to_disk:
+                    self.storage.ensure_free(worker, working_set)
+                else:
+                    raise WorkerOutOfMemory(worker, working_set,
+                                            tracker.limit, tracker.used)
+        else:
+            # the ledger reserves the *estimated* footprint (what a real
+            # scheduler knows pre-execution), floored by the actual
+            # working set the simulator just measured.
+            request = max(working_set, self.pressure.estimator.estimate(subtask))
+            exclusive = self.pressure.is_degraded(worker)
+            if exclusive:
+                stage.degraded_subtasks += 1
+            decision = self.pressure.admission.admit(
+                worker, request, ready_time, tracker.used, tracker.limit,
+                allow_wait=self.config.admission_control,
+                exclusive=exclusive,
+            )
+            stage.admission_wait_time += decision.wait
+            ready_time = decision.start
+            # concurrent grants still active at our start count against
+            # the budget: without backpressure this is exactly how the
+            # seed engine dispatches N working sets into one worker. The
+            # hard check uses the *actual* working set (estimates only
+            # decide when to start, never inflate what must fit — a
+            # forced admission drained the ledger, so this reduces to
+            # the seed engine's own check).
+            headroom = decision.active + working_set
+            if not tracker.can_fit(headroom):
+                if self.config.spill_to_disk:
+                    self.storage.ensure_free(worker, headroom)
+                else:
+                    raise WorkerOutOfMemory(worker, headroom, tracker.limit,
+                                            tracker.used)
         tracker.note_transient(working_set)
 
         # -- store outputs ------------------------------------------------------
@@ -592,6 +746,11 @@ class GraphExecutor:
         end = self.cluster.clock.run_subtask(band, ready_time, duration)
         for key in subtask.output_keys:
             self.chunk_ready_at[key] = end
+        if decision is not None:
+            # the grant spans the subtask's virtual execution; later
+            # admissions on this worker see it until ``end`` passes.
+            self.pressure.admission.commit(decision, end)
+            self.pressure.estimator.observe(subtask, sizes)
 
         stage.total_compute_seconds += duration
         stage.total_transfer_bytes += transferred
@@ -644,6 +803,11 @@ class GraphExecutor:
         report.recomputed_subtasks += stage.recomputed_subtasks
         report.recovery_bytes += stage.recovery_bytes
         report.backoff_time += stage.backoff_time
+        report.oom_retries += stage.oom_retries
+        report.admission_wait_time += stage.admission_wait_time
+        report.degraded_subtasks += stage.degraded_subtasks
+        report.pressure_splits += stage.pressure_splits
+        report.forced_spill_bytes += stage.forced_spill_bytes
         for worker, peak in stage.peak_memory.items():
             report.peak_memory[worker] = max(report.peak_memory.get(worker, 0), peak)
         report.band_busy = dict(stage.band_busy)

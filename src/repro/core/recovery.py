@@ -42,7 +42,7 @@ from ..graph.subtask import Subtask
 class FaultEvent:
     """One fired injection, kept for reports and tests."""
 
-    point: str      # "compute" | "chunk_loss" | "worker_kill"
+    point: str      # "compute" | "chunk_loss" | "worker_kill" | "mem_squeeze"
     target: str     # subtask key / chunk key / worker name
     stage: int
     priority: int
@@ -65,6 +65,8 @@ class FaultInjector:
         #: every injection that fired, in accounting order.
         self.events: list[FaultEvent] = []
         self._scripted: set[tuple] = set()
+        #: scripted squeeze identities -> budget factor override.
+        self._scripted_squeeze: dict[tuple, float] = {}
         self._compute_hooks: list[Callable[[Subtask, int], bool]] = []
         self._loss_hooks: list[Callable[[Subtask, str], bool]] = []
         self._kill_hooks: list[Callable[[Subtask], bool]] = []
@@ -76,6 +78,7 @@ class FaultInjector:
         # earlier stage must still be caught by the recovery wrapper's
         # missing-input pre-check in later stages.
         return (self.spec.any_rate or bool(self._scripted)
+                or bool(self._scripted_squeeze)
                 or bool(self._compute_hooks) or bool(self._loss_hooks)
                 or bool(self._kill_hooks) or bool(self.events))
 
@@ -138,6 +141,27 @@ class FaultInjector:
             ))
         return fired
 
+    def squeeze_memory(self, subtask: Subtask) -> Optional[float]:
+        """Budget factor if this subtask's worker is transiently squeezed.
+
+        Returns the factor to multiply the worker's memory limit by for
+        the duration of the subtask's admission/execution, or ``None``.
+        Drawn once per subtask (not per attempt): the squeeze models
+        external pressure lasting across the OOM ladder's retries.
+        """
+        ident = ("mem_squeeze", subtask.stage_index, subtask.priority)
+        factor = self._scripted_squeeze.pop(ident, None)
+        if factor is None and self.spec.memory_squeeze_rate > 0.0:
+            if self._draw(*ident) < self.spec.memory_squeeze_rate:
+                factor = self.spec.memory_squeeze_factor
+        if factor is not None:
+            worker = (subtask.band or "?").split("/")[0]
+            self.events.append(FaultEvent(
+                "mem_squeeze", worker, subtask.stage_index,
+                subtask.priority, detail=f"factor {factor}",
+            ))
+        return factor
+
     # -- scripted injection points ----------------------------------------
     def script_compute_fault(self, stage: int, priority: int,
                              attempt: int = 0) -> None:
@@ -152,6 +176,13 @@ class FaultInjector:
     def script_worker_kill(self, stage: int, priority: int) -> None:
         """Kill the worker that runs the subtask at (stage, priority)."""
         self._scripted.add(("worker_kill", stage, priority))
+
+    def script_memory_squeeze(self, stage: int, priority: int,
+                              factor: float | None = None) -> None:
+        """Squeeze the budget of the worker running (stage, priority)."""
+        if factor is None:
+            factor = self.spec.memory_squeeze_factor
+        self._scripted_squeeze[("mem_squeeze", stage, priority)] = factor
 
     # -- predicate hooks (tests) ------------------------------------------
     def on_compute(self, hook: Callable[[Subtask, int], bool]) -> None:

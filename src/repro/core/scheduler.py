@@ -69,6 +69,7 @@ class Scheduler:
                 input_nbytes.get(key, self._default_nbytes)
                 for key in subtask.input_keys
             ) + 1
+            subtask.load_estimate = estimated
             self._band_load[band] += estimated
             for key in subtask.output_keys:
                 self.chunk_band[key] = band
@@ -101,6 +102,41 @@ class Scheduler:
 
     def _least_loaded(self, bands: list[str]) -> str:
         return min(bands, key=lambda b: self._band_load[b])
+
+    def note_completed(self, subtask: Subtask) -> None:
+        """Release a finished subtask's estimated load from its band.
+
+        Without this, ``_band_load`` only ever accumulates across the
+        partial executions of a session, so ``_least_loaded`` and the
+        locality balance valve skew toward whichever bands happened to
+        run the first stage. The executor calls this once per completed
+        first-run subtask, on the deterministic accounting walk.
+        """
+        band = subtask.band
+        if band is None or band not in self._band_load:
+            return
+        self._band_load[band] = max(
+            0.0, self._band_load[band] - subtask.load_estimate
+        )
+
+    def reassign(self, subtask: Subtask, band: str) -> None:
+        """Move a subtask (and its future outputs) to another band.
+
+        Used by the OOM ladder's reschedule rung: the estimated load
+        follows the subtask, and output placements are re-recorded so
+        locality follows the data to its new home.
+        """
+        old = subtask.band
+        if old is not None and old in self._band_load:
+            self._band_load[old] = max(
+                0.0, self._band_load[old] - subtask.load_estimate
+            )
+        subtask.band = band
+        self._band_load[band] = (
+            self._band_load.get(band, 0.0) + subtask.load_estimate
+        )
+        for key in subtask.output_keys:
+            self.chunk_band[key] = band
 
     def record_chunk(self, key: str, band: str) -> None:
         self.chunk_band[key] = band

@@ -17,7 +17,7 @@ import numpy as np
 from ..actors import Actor
 from ..cluster.cluster import SUPERVISOR_ADDRESS, ClusterState
 from ..config import Config, default_config
-from ..errors import SessionError
+from ..errors import SessionError, WorkerOutOfMemory
 from ..frame import DataFrame, Series, concat
 from ..graph.dag import DAG
 from ..graph.entity import TileableData
@@ -48,6 +48,15 @@ class RunReport:
     recomputed_subtasks: int = 0
     recovery_bytes: int = 0
     backoff_time: float = 0.0
+    #: memory pressure (zero in unconstrained runs): OOM-ladder retries,
+    #: virtual seconds of admission backpressure, subtasks run on
+    #: degraded (serialized) workers, memory-aware re-tiling passes,
+    #: bytes force-spilled by the ladder.
+    oom_retries: int = 0
+    admission_wait_time: float = 0.0
+    degraded_subtasks: int = 0
+    pressure_splits: int = 0
+    forced_spill_bytes: int = 0
     peak_memory: dict[str, int] = field(default_factory=dict)
 
 
@@ -120,20 +129,54 @@ class Session:
         recomputed0 = self.executor.report.recomputed_subtasks
         recovered0 = self.executor.report.recovery_bytes
         backoff0 = self.executor.report.backoff_time
+        oom0 = self.executor.report.oom_retries
+        admission0 = self.executor.report.admission_wait_time
+        degraded0 = self.executor.report.degraded_subtasks
+        splits0 = self.executor.report.pressure_splits
+        forced0 = self.executor.report.forced_spill_bytes
 
         previous_mode = self.executor.parallel_mode
         if parallel is not None:
             self.executor.parallel_mode = parallel
+        saved_chunk_limit = self.config.chunk_store_limit
         try:
-            graph = build_tileable_graph(list(tileables))
-            if self.config.column_pruning:
-                prune_columns(graph, list(tileables))
-            chunk_graph = self.tiler.tile(graph, list(tileables))
-            retain = {
-                chunk.key for t in tileables for chunk in t.chunks
-            }
-            self.executor.execute(chunk_graph, retain_keys=retain)
+            # memory-aware re-tiling (the OOM ladder's last rung): when
+            # the executor's in-place recovery is exhausted, halve the
+            # chunk limit and re-enter dynamic tiling — smaller chunks
+            # mean smaller working sets, the paper's Section IV machinery
+            # pointed at robustness instead of performance.
+            retile_attempts = 0
+            pretiled: set[str] = set()
+            stored_before: set[str] = set()
+            while True:
+                graph = build_tileable_graph(list(tileables))
+                if retile_attempts == 0:
+                    pretiled = {
+                        node.key for node in graph.nodes() if node.is_tiled
+                    }
+                    stored_before = set(self.storage.all_keys())
+                    if self.config.column_pruning:
+                        prune_columns(graph, list(tileables))
+                try:
+                    chunk_graph = self.tiler.tile(graph, list(tileables))
+                    retain = {
+                        chunk.key for t in tileables for chunk in t.chunks
+                    }
+                    self.executor.execute(chunk_graph, retain_keys=retain)
+                    break
+                except WorkerOutOfMemory:
+                    retile_attempts += 1
+                    if (not self.config.oom_recovery
+                            or retile_attempts
+                            > self.config.pressure_retile_limit):
+                        raise
+                    self.executor.report.pressure_splits += 1
+                    self._reset_for_retile(graph, pretiled, stored_before)
+                    self.config.chunk_store_limit = max(
+                        1, self.config.chunk_store_limit // 2
+                    )
         finally:
+            self.config.chunk_store_limit = saved_chunk_limit
             self.executor.parallel_mode = previous_mode
 
         # fetch before building the report: fetch-time recovery of lost
@@ -157,11 +200,44 @@ class Session:
             ),
             recovery_bytes=self.executor.report.recovery_bytes - recovered0,
             backoff_time=self.executor.report.backoff_time - backoff0,
+            oom_retries=self.executor.report.oom_retries - oom0,
+            admission_wait_time=(
+                self.executor.report.admission_wait_time - admission0
+            ),
+            degraded_subtasks=(
+                self.executor.report.degraded_subtasks - degraded0
+            ),
+            pressure_splits=self.executor.report.pressure_splits - splits0,
+            forced_spill_bytes=(
+                self.executor.report.forced_spill_bytes - forced0
+            ),
             peak_memory=self.cluster.peak_memory(),
         )
         for tileable in tileables:
             self._actor_ref.record_execution(tileable.key)
         return values
+
+    # ------------------------------------------------------------------
+    def _reset_for_retile(self, graph: DAG, pretiled: set[str],
+                          stored_before: set[str]) -> None:
+        """Undo one failed execute attempt so tiling can start over.
+
+        Every tileable this call tiled is untiled again (chunks cleared),
+        and every chunk this attempt stored is dropped from storage,
+        shuffle registry and scheduler placement. Tileables that were
+        already tiled before the call (prior executes) keep their chunks
+        and their stored data — re-tiling must not invalidate them.
+        """
+        for node in graph.nodes():
+            if node.key in pretiled or not node.is_tiled:
+                continue
+            node.chunks = []
+            node.nsplits = ()
+        for key in self.storage.all_keys():
+            if key not in stored_before:
+                self.storage.delete(key)
+                self.shuffle.forget_key(key)
+                self.scheduler.forget_chunk(key)
 
     # ------------------------------------------------------------------
     def fetch(self, tileable: TileableData) -> Any:

@@ -127,6 +127,25 @@ def recovery_report(session: Session) -> str:
     return "\n".join(lines)
 
 
+def pressure_report(session: Session) -> str:
+    """Memory-pressure state: backpressure, OOM ladder, re-tiling."""
+    report = session.executor.report
+    pressure = session.executor.pressure
+    lines = [
+        "memory pressure:",
+        f"  admission wait:      {report.admission_wait_time:.4f}s",
+        f"  forced admissions:   {pressure.admission.forced_admissions}",
+        f"  oom ladder retries:  {report.oom_retries}",
+        f"  forced spill:        {human_bytes(report.forced_spill_bytes)}",
+        f"  degraded subtasks:   {report.degraded_subtasks}",
+        f"  re-tiling passes:    {report.pressure_splits}",
+    ]
+    degraded = sorted(pressure.degraded_workers)
+    if degraded:
+        lines.append(f"  degraded workers:    {', '.join(degraded)}")
+    return "\n".join(lines)
+
+
 def session_summary(session: Session) -> str:
     """Everything at a glance: last run, bands, memory."""
     report = session.last_report
@@ -139,4 +158,7 @@ def session_summary(session: Session) -> str:
     parts = [head, band_timeline(session), memory_report(session)]
     if report.retries or report.recomputed_subtasks:
         parts.append(recovery_report(session))
+    if (report.admission_wait_time or report.oom_retries
+            or report.pressure_splits or report.degraded_subtasks):
+        parts.append(pressure_report(session))
     return "\n\n".join(parts)

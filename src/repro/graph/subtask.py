@@ -19,7 +19,8 @@ class Subtask:
 
     __slots__ = (
         "key", "chunks", "input_keys", "output_keys", "band",
-        "priority", "virtual_cost", "stage_index", "_hash",
+        "priority", "virtual_cost", "stage_index", "load_estimate",
+        "_hash",
     )
 
     def __init__(self, chunks: list[ChunkData]):
@@ -45,6 +46,9 @@ class Subtask:
         self.band: Optional[str] = None
         self.priority: int = 0
         self.virtual_cost: float = 0.0
+        #: the scheduler's estimated load contribution, remembered so the
+        #: executor can release exactly this amount on completion.
+        self.load_estimate: float = 0.0
         #: index of the execution stage that first ran this subtask.
         #: Together with ``priority`` (topological position) it forms the
         #: *structural identity* fault injection and retry accounting key

@@ -60,6 +60,10 @@ class StorageService:
         #: WorkerOutOfMemory — kept out of ``total_spilled_bytes`` so the
         #: spill metric reflects only spills that bought an admission.
         self.failed_admission_spill_bytes = 0
+        #: bytes evicted by the OOM ladder's force-spill rung (kept out of
+        #: ``total_spilled_bytes``: these are recovery actions, not LRU
+        #: admissions).
+        self.forced_spill_bytes = 0
         self.total_transferred_bytes = 0
 
     # -- writes -----------------------------------------------------------
@@ -140,6 +144,33 @@ class StorageService:
             self.failed_admission_spill_bytes += spilled_now
             raise WorkerOutOfMemory(worker, nbytes, tracker.limit, tracker.used)
 
+    def force_spill(self, worker: str) -> int:
+        """Evict every unpinned memory-resident chunk of ``worker`` to disk.
+
+        The OOM recovery ladder's first rung: empties the worker's memory
+        tier (minus in-flight pins) so the failing subtask can retry in
+        place. Returns the bytes moved; they are charged to
+        ``forced_spill_bytes``, not the LRU spill metric.
+        """
+        with self._lock:
+            if not self.config.spill_to_disk:
+                return 0
+            tracker = self.cluster.memory[worker]
+            lru = self._lru[worker]
+            spilled = 0
+            for victim_key in list(lru):
+                if self._pins.get(victim_key):
+                    continue
+                del lru[victim_key]
+                item = self._memory[worker].delete(victim_key)
+                tracker.release(item.nbytes)
+                item.level = StorageLevel.DISK
+                self._disk[worker].put(item)
+                self._locations[victim_key] = (worker, StorageLevel.DISK)
+                spilled += item.nbytes
+            self.forced_spill_bytes += spilled
+            return spilled
+
     # -- reads ------------------------------------------------------------
     def get(self, key: str, requesting_worker: str) -> AccessInfo:
         """Fetch a chunk from wherever it lives.
@@ -161,7 +192,8 @@ class StorageService:
         with self._lock:
             return [self._get_locked(key, requesting_worker) for key in keys]
 
-    def _get_locked(self, key: str, requesting_worker: str) -> AccessInfo:
+    def _get_locked(self, key: str, requesting_worker: str,
+                    touch_lru: bool = True) -> AccessInfo:
         location = self._locations.get(key)
         if location is None:
             raise StorageKeyError(key)
@@ -182,7 +214,8 @@ class StorageService:
                               tier_penalty=self.config.cost_model.disk_penalty,
                               source_worker=worker)
         item = self._memory[worker].get(key)
-        self._lru[worker].move_to_end(key)
+        if touch_lru:
+            self._lru[worker].move_to_end(key)
         transferred = item.nbytes if worker != requesting_worker else 0
         self.total_transferred_bytes += transferred
         return AccessInfo(item.value, item.nbytes,
@@ -190,8 +223,16 @@ class StorageService:
                           source_worker=worker)
 
     def peek(self, key: str) -> Any:
-        """Read a value without charging transfers (driver-side fetches)."""
-        return self.get(key, requesting_worker="<driver>").value
+        """Read a value without charging transfers (driver-side fetches).
+
+        Read-only on the LRU: observing a chunk (``__repr__``,
+        ``TileContext.peek``) must not change which chunk gets spilled
+        next, or spill victim selection would depend on observation.
+        """
+        with self._lock:
+            return self._get_locked(
+                key, requesting_worker="<driver>", touch_lru=False
+            ).value
 
     def peek_value(self, key: str) -> Any:
         """Accounting-free read: no transfer charge, no LRU touch.
@@ -233,6 +274,11 @@ class StorageService:
     def is_pinned(self, key: str) -> bool:
         with self._lock:
             return bool(self._pins.get(key))
+
+    def pinned_keys(self) -> list[str]:
+        """Keys currently pin-protected (empty between subtasks)."""
+        with self._lock:
+            return [key for key, count in self._pins.items() if count > 0]
 
     # -- bookkeeping --------------------------------------------------------
     def contains(self, key: str) -> bool:
@@ -277,6 +323,11 @@ class StorageService:
 
     def keys_on(self, worker: str) -> list[str]:
         return self._memory[worker].keys() + self._disk[worker].keys()
+
+    def all_keys(self) -> list[str]:
+        """Every stored key across workers and tiers (re-tile snapshots)."""
+        with self._lock:
+            return list(self._locations)
 
     def clear(self) -> None:
         with self._lock:

@@ -85,3 +85,20 @@ class TestRuntimeReports:
 
     def test_timeline_without_work(self, session):
         assert "0.0000s" in diagnostics.band_timeline(session)
+
+    def test_pressure_report(self, session, result):
+        text = diagnostics.pressure_report(session)
+        assert "admission wait" in text
+        assert "re-tiling passes" in text
+
+    def test_summary_includes_pressure_when_it_fired(self):
+        cfg = Config()
+        cfg.chunk_store_limit = 4_000
+        cfg.cluster.memory_limit = 8 * 1024
+        with Session(cfg) as tight:
+            rng = np.random.default_rng(0)
+            local = pf.DataFrame({"k": rng.integers(0, 4, 300),
+                                  "v": rng.normal(size=300)})
+            from_frame(local, tight).groupby("k").agg({"v": "sum"}).fetch()
+            assert tight.executor.report.admission_wait_time > 0.0
+            assert "memory pressure:" in diagnostics.session_summary(tight)

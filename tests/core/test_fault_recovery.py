@@ -17,6 +17,7 @@ from repro.cluster.simulation import SimReport
 from repro.config import Config, FaultSpec
 from repro.core import Session
 from repro.core.dispatch import BandDispatcher, SubtaskComputation
+from repro.core.memory_control import verify_memory_invariants
 from repro.core.operator import Operator
 from repro.core.recovery import FaultInjector, RecoveryManager
 from repro.dataframe import from_frame
@@ -35,13 +36,16 @@ from repro.workloads.tpch.queries import materialize
 
 
 def make_session(parallel: bool = False, chunk_limit: int = 8_000,
-                 faults: dict | None = None, **overrides) -> Session:
+                 faults: dict | None = None,
+                 memory_limit: int | None = None, **overrides) -> Session:
     cfg = Config()
     cfg.chunk_store_limit = chunk_limit
     cfg.parallel_execution = parallel
     # force the dispatcher path even on small graphs / 1-core CI hosts.
     cfg.parallel_min_subtasks = 2
     cfg.parallel_min_cores = 1
+    if memory_limit is not None:
+        cfg.cluster.memory_limit = memory_limit
     for name, value in (faults or {}).items():
         setattr(cfg.faults, name, value)
     for name, value in overrides.items():
@@ -62,6 +66,11 @@ def report_tuple(session: Session):
         report.recomputed_subtasks,
         report.recovery_bytes,
         report.backoff_time,
+        report.oom_retries,
+        report.admission_wait_time,
+        report.degraded_subtasks,
+        report.pressure_splits,
+        report.forced_spill_bytes,
         dict(report.peak_memory),
         dict(report.band_busy),
     )
@@ -146,6 +155,7 @@ CHAOS = {
     "compute_fault_rate": 0.05,
     "chunk_loss_rate": 0.03,
     "worker_kill_rate": 0.01,
+    "memory_squeeze_rate": 0.05,
 }
 
 
@@ -313,6 +323,7 @@ class TestChaosMatrix:
         with make_session(faults=CHAOS, **overrides) as chaotic:
             actual = workload(chaotic)
             events = event_signature(chaotic)
+            verify_memory_invariants(chaotic)
         assert_same_result(actual, expected)
         # rates this high over graphs this wide must actually fire
         assert events
@@ -327,9 +338,42 @@ class TestChaosMatrix:
                 results[mode] = workload(session)
                 reports[mode] = report_tuple(session)
                 signatures[mode] = event_signature(session)
+                verify_memory_invariants(session)
         assert signatures[True] == signatures[False]
         assert reports[True] == reports[False]
         assert_same_result(results[True], results[False])
+
+    @pytest.mark.parametrize("name", ["tensor_fanout", "groupby_shuffle"])
+    def test_memory_chaos_bit_identical_under_pressure(self, name):
+        """Memory squeezes + chunk loss under a budget tight enough that
+        admission backpressure and the OOM ladder actually fire: results
+        still match the fault-free run and both modes stay bit-identical.
+        """
+        workload, overrides = WORKLOADS[name]
+        chaos = dict(CHAOS)
+        chaos["memory_squeeze_rate"] = 0.2
+        with make_session(**overrides) as clean:
+            expected = workload(clean)
+        results, reports, pressured = {}, {}, {}
+        for mode in (False, True):
+            with make_session(parallel=mode, faults=chaos,
+                              memory_limit=192 * 1024,
+                              **overrides) as session:
+                results[mode] = workload(session)
+                reports[mode] = report_tuple(session)
+                report = session.executor.report
+                pressured[mode] = (
+                    report.admission_wait_time > 0.0
+                    or report.oom_retries > 0
+                    or report.forced_spill_bytes > 0
+                )
+                assert any(e.point == "mem_squeeze"
+                           for e in session.cluster.faults.events)
+                verify_memory_invariants(session)
+        assert reports[True] == reports[False]
+        assert pressured[True] and pressured[False]
+        assert_same_result(results[True], results[False])
+        assert_same_result(results[True], expected)
 
 
 # ---------------------------------------------------------------------------

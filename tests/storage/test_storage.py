@@ -99,6 +99,39 @@ class TestSpill:
         assert service.location_of("mid")[1] == StorageLevel.DISK
         assert service.location_of("old")[1] == StorageLevel.MEMORY
 
+    def test_peek_does_not_refresh_lru(self):
+        """``peek`` is a read-only observation (driver fetch, diagnostics):
+        it must not promote its key in the LRU and thereby change which
+        chunk the next allocation spills."""
+        service, _ = make_service(memory_limit=2000)
+        a = np.zeros(100)
+        service.put("old", a, "worker-0")
+        service.put("mid", a, "worker-0")
+        service.peek("old")  # no touch → "old" stays LRU
+        service.put("new", a, "worker-0")
+        assert service.location_of("old")[1] == StorageLevel.DISK
+        assert service.location_of("mid")[1] == StorageLevel.MEMORY
+
+    def test_force_spill_evicts_unpinned_residents(self):
+        service, cluster = make_service(memory_limit=10_000)
+        a = np.zeros(100)
+        service.put("keep", a, "worker-0")
+        service.put("drop", a, "worker-0")
+        service.pin(["keep"])
+        freed = service.force_spill("worker-0")
+        assert freed == a.nbytes
+        assert service.location_of("keep")[1] == StorageLevel.MEMORY
+        assert service.location_of("drop")[1] == StorageLevel.DISK
+        assert service.forced_spill_bytes == freed
+        assert cluster.memory["worker-0"].used == a.nbytes
+        service.unpin(["keep"])
+
+    def test_force_spill_without_disk_frees_nothing(self):
+        service, _ = make_service(memory_limit=10_000, spill=False)
+        service.put("a", np.zeros(100), "worker-0")
+        assert service.force_spill("worker-0") == 0
+        assert service.location_of("a")[1] == StorageLevel.MEMORY
+
     def test_no_spill_raises_oom(self):
         service, _ = make_service(memory_limit=1000, spill=False)
         service.put("a", np.zeros(100), "worker-0")
