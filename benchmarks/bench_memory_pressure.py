@@ -99,7 +99,7 @@ def run_point(workload, overrides: dict, memory_limit: int | None,
             "degraded_subtasks": report.degraded_subtasks,
             "pressure_splits": report.pressure_splits,
             "forced_spill_bytes": report.forced_spill_bytes,
-            "spilled_bytes": session.storage.total_spilled_bytes,
+            "spilled_bytes": session.storage.spilled_bytes(),
         }
     finally:
         session.close()

@@ -8,6 +8,7 @@ inter-service communication is message delivery between pools.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Type
 
 from ..errors import ActorError
@@ -56,7 +57,12 @@ class ActorSystem:
     def __init__(self):
         self._pools: dict[str, ActorPool] = {}
         self.log = MessageLog()
-        self._current_actor: Actor | None = None
+        #: per-thread delivery state: parallel band runners deliver
+        #: concurrently with the accounting thread, so the "which actor
+        #: is currently handling a message" marker must be thread-local —
+        #: a single shared field corrupts sender attribution across
+        #: threads (and un-attributes nested calls racing each other).
+        self._tls = threading.local()
 
     # -- pool management ----------------------------------------------------
     def create_pool(self, address: str) -> ActorPool:
@@ -110,21 +116,41 @@ class ActorSystem:
         return address in self._pools and uid in self._pools[address]
 
     # -- message delivery --------------------------------------------------------
+    @property
+    def _current_actor(self) -> Actor | None:
+        return getattr(self._tls, "current_actor", None)
+
+    @_current_actor.setter
+    def _current_actor(self, actor: Actor | None) -> None:
+        self._tls.current_actor = actor
+
+    def set_thread_sender(self, label: str | None) -> None:
+        """Name this thread's deliveries when no actor is handling one.
+
+        Band-runner pool threads set e.g. ``"band-runner"`` so their
+        compute-phase storage peeks are attributed in the trace instead
+        of showing up as ``<external>``.
+        """
+        self._tls.sender_label = label
+
     def deliver(self, address: str, uid: str, method: str,
                 args: tuple, kwargs: dict) -> Any:
         actor = self.get_pool(address).lookup(uid)
         handler = getattr(actor, method, None)
         if handler is None or not callable(handler):
             raise ActorError(f"actor {uid!r} has no method {method!r}")
-        sender = self._current_actor.uid if self._current_actor is not None else "<external>"
+        current = self._current_actor
+        if current is not None:
+            sender = current.uid
+        else:
+            sender = getattr(self._tls, "sender_label", None) or "<external>"
         self.log.record(Message(sender=sender, recipient=uid, method=method,
                                 args=args, kwargs=kwargs))
-        previous = self._current_actor
         self._current_actor = actor
         try:
             return handler(*args, **kwargs)
         finally:
-            self._current_actor = previous
+            self._current_actor = current
 
     def shutdown(self) -> None:
         for address in list(self._pools):

@@ -158,7 +158,7 @@ class BaselineEngine:
                     error="workers paused at memory limit",
                 )
             if (self.profile.hang_spill_factor is not None
-                    and session.storage.total_spilled_bytes
+                    and session.storage.spilled_bytes()
                     > self.profile.hang_spill_factor * limit):
                 return EngineResult(
                     engine=self.name, workload=workload.name,

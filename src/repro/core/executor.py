@@ -37,16 +37,15 @@ from ..errors import (
 from ..graph.dag import DAG
 from ..graph.entity import ChunkData
 from ..graph.subtask import Subtask, build_subtask_graph
-from ..storage.service import StorageService
-from ..storage.shuffle import ShuffleManager
+from ..services.lifecycle import LifecycleService
+from ..services.runner import SubtaskRunner
+from ..services.scheduling import SchedulingService
 from ..utils import sizeof
 from .dispatch import BandDispatcher, SubtaskComputation, should_use_parallel
 from .fusion import fusion_groups, singleton_groups
-from .memory_control import MemoryPressure, worker_of_band
-from .meta import MetaService
+from .memory_control import worker_of_band
 from .operator import COMBINE_DROPPED_KEY, ExecContext
 from .opfusion import plan_subtask, step_io_keys
-from .recovery import RecoveryManager
 from .scheduler import Scheduler
 
 #: failures the retry loop re-attempts; anything else (kernel bugs, OOM
@@ -66,10 +65,17 @@ def _lost_keys(exc: BaseException) -> list[str]:
 class GraphExecutor:
     """Executes chunk graphs against one cluster + storage + meta state."""
 
-    def __init__(self, cluster: ClusterState, storage: StorageService,
-                 meta: MetaService, config: Config,
-                 scheduler: Scheduler | None = None,
-                 shuffle: ShuffleManager | None = None):
+    def __init__(self, cluster: ClusterState, storage: Any,
+                 meta: Any, config: Config,
+                 scheduler: Any = None,
+                 shuffle: Any = None,
+                 lifecycle: Any = None,
+                 runners: dict[str, Any] | None = None):
+        """``storage``/``meta``/``scheduler``/``shuffle``/``lifecycle``
+        are *service handles*: plain service objects (legacy direct
+        construction) or actor refs (the deployed service plane) — the
+        executor only calls methods on them, so both work identically.
+        """
         self.cluster = cluster
         self.storage = storage
         self.meta = meta
@@ -77,18 +83,28 @@ class GraphExecutor:
         #: optional shuffle index: shuffle-map output chunks register here
         #: as ``(shuffle_id, reducer)`` partitions when stored.
         self.shuffle = shuffle
-        self.scheduler = scheduler if scheduler is not None else Scheduler(
-            cluster, config
+        #: the scheduling service: placement, band load, memory admission.
+        #: A bare placement ``Scheduler`` (legacy callers) is wrapped into
+        #: a full service with its own pressure subsystem.
+        if scheduler is None or isinstance(scheduler, Scheduler):
+            self.scheduling = SchedulingService.create(
+                cluster, config, meta, storage, scheduler=scheduler,
+            )
+        else:
+            self.scheduling = scheduler
+        #: the lifecycle service: chunk refcounts, terminal flags, lineage.
+        self.lifecycle = (
+            lifecycle if lifecycle is not None
+            else LifecycleService(storage, shuffle, config)
         )
-        #: memory-pressure subsystem: footprint estimator, per-worker
-        #: admission ledger, degraded-worker state, dispatch gates.
-        self.pressure = MemoryPressure(config, cluster, meta, storage)
+        #: band name -> subtask runner handle (the compute phase). Legacy
+        #: constructions get plain in-process runners.
+        self.runners = runners if runners is not None else {
+            band.name: SubtaskRunner(band.name, storage, config)
+            for band in cluster.bands
+        }
         #: completion virtual time of every produced chunk key.
         self.chunk_ready_at: dict[str, float] = {}
-        #: lineage registry: chunk key -> producing subtask, persisted
-        #: across stages and past refcount deletion, so any lost chunk
-        #: can be recomputed on demand.
-        self.recovery = RecoveryManager()
         #: failed-attempt counters keyed by the structural identity
         #: ``(stage_index, priority)`` — never reset, so serial and
         #: parallel runs of the same workload draw identical faults.
@@ -99,13 +115,27 @@ class GraphExecutor:
         #: sampling annotations produced during execute(), consumed when
         #: the annotated chunk's meta is recorded.
         self._pending_extra: dict[str, dict] = {}
-        #: chunk key -> is a tileable-boundary (user-visible) chunk.
-        self._terminal_keys: dict[str, bool] = {}
         #: tri-state override of ``config.parallel_execution`` for every
         #: stage this executor runs (None = follow the config). Sessions
         #: set it so dynamic-tiling yield executions use the same mode as
         #: the final pass.
         self.parallel_mode: bool | None = None
+
+    # -- service introspection (diagnostics / tests) --------------------
+    @property
+    def pressure(self):
+        """The scheduling service's memory-pressure subsystem."""
+        return self.scheduling.memory_pressure()
+
+    @property
+    def recovery(self):
+        """The lifecycle service's lineage registry."""
+        return self.lifecycle.recovery_manager()
+
+    @property
+    def scheduler(self):
+        """The scheduling service handle (flat placement interface)."""
+        return self.scheduling
 
     # ------------------------------------------------------------------
     def execute(self, chunk_graph: DAG[ChunkData],
@@ -120,8 +150,10 @@ class GraphExecutor:
         decide.
         """
         retain = set(retain_keys or ())
-        for node in chunk_graph.nodes():
-            self._terminal_keys[node.key] = getattr(node, "terminal", False)
+        self.lifecycle.register_terminals({
+            node.key: getattr(node, "terminal", False)
+            for node in chunk_graph.nodes()
+        })
         pending = [
             node for node in chunk_graph.topological_order()
             if not self.storage.contains(node.key)
@@ -137,7 +169,7 @@ class GraphExecutor:
         subtask_graph = build_subtask_graph(pending_graph, groups)
 
         input_nbytes = self._known_nbytes(subtask_graph)
-        self.scheduler.assign(subtask_graph, input_nbytes)
+        self.scheduling.assign(subtask_graph, input_nbytes)
 
         # serial graph-construction/dispatch overhead (auto merge exists to
         # keep this small): charged once, before any subtask starts.
@@ -166,7 +198,8 @@ class GraphExecutor:
             parallel = self.config.parallel_execution
         # stage boundary: every grant of a previous stage ended at or
         # before this stage's base time, so the ledger starts empty.
-        self.pressure.admission.begin_stage()
+        self.scheduling.begin_stage()
+        self.lifecycle.begin_stage(dict(consumers), retain)
         try:
             if parallel and should_use_parallel(order, self.config):
                 self._execute_parallel(
@@ -175,9 +208,14 @@ class GraphExecutor:
                 )
             else:
                 for subtask in order:
+                    # serial compute goes through the band's runner too:
+                    # the accounting walk consumes the precomputed record
+                    # exactly like the parallel path (falling back to
+                    # inline kernels if the runner bailed).
+                    computed = self._precompute(subtask)
                     end = self._run_subtask_with_recovery(
                         subtask, subtask_graph, completion, base_time, retain,
-                        consumers, stage,
+                        consumers, stage, computed=computed,
                     )
                     completion[subtask.key] = end
         finally:
@@ -202,10 +240,11 @@ class GraphExecutor:
                           stage: SimReport) -> None:
         """Event-driven kernel execution + deterministic accounting.
 
-        Pool threads run ``_compute_subtask`` as dependencies resolve
-        (one logical slot per band); this thread drains the results in
-        topological order and performs the exact accounting the serial
-        walk would, so every ``SimReport`` field matches serial mode.
+        Pool threads run the per-band subtask runners as dependencies
+        resolve (one logical slot per band); this thread drains the
+        results in topological order and performs the exact accounting
+        the serial walk would, so every ``SimReport`` field matches
+        serial mode.
         """
         # wall-clock admission: pool threads must not actually overlap
         # kernels whose estimated footprints exceed a worker's budget.
@@ -213,11 +252,26 @@ class GraphExecutor:
         # the gate reads no mutable shared state; it never affects any
         # simulated number (see memory_control.DispatchGate).
         gate = (
-            self.pressure.dispatch_gate(order)
+            self.scheduling.dispatch_gate(order)
             if self.config.admission_control else None
         )
+        system = getattr(self.cluster, "actor_system", None)
+
+        def compute(subtask: Subtask,
+                    inputs: dict[str, Any]) -> SubtaskComputation:
+            # pool threads are not actors; label them so runner/storage
+            # messages they send carry a real sender in the trace.
+            if system is not None:
+                system.set_thread_sender("band-runner")
+            return self.runners[subtask.band].compute(subtask, inputs)
+
+        def fetch(key: str) -> Any:
+            if system is not None:
+                system.set_thread_sender("band-runner")
+            return self.storage.peek_value(key)
+
         dispatcher = BandDispatcher(
-            graph, order, self._compute_subtask, self.storage.peek_value,
+            graph, order, compute, fetch,
             pool=self.cluster.executor_pool(), gate=gate,
         )
         dispatcher.start()
@@ -245,41 +299,16 @@ class GraphExecutor:
         finally:
             dispatcher.shutdown()
 
-    def _compute_subtask(self, subtask: Subtask,
-                         inputs: dict[str, Any]) -> SubtaskComputation:
-        """Compute phase: run the subtask's kernels against real values.
+    def _precompute(self, subtask: Subtask) -> SubtaskComputation | None:
+        """Serial-mode compute phase: run kernels via the band's runner.
 
-        Runs on a band-runner pool thread. Touches no shared service —
-        all storage/meta/clock/memory effects happen later, in the
-        accounting phase on the dispatching thread.
+        Returns ``None`` (inline fallback) when the band has no runner
+        or the runner bailed — the accounting walk then re-runs the
+        kernels itself, failing or retrying at the exact point the
+        pre-service engine did.
         """
-        env: dict[str, Any] = dict(inputs)
-        steps = plan_subtask(subtask, enable=self.config.operator_fusion)
-        executed_ops: set[int] = set()
-        op_results: dict[int, Any] = {}
-        op_extra: dict[int, dict[str, dict]] = {}
-        for step in steps:
-            for chunk in step:
-                op = chunk.op
-                if op is None or id(op) in executed_ops:
-                    continue
-                executed_ops.add(id(op))
-                ctx = ExecContext(env, self.config)
-                result = op.execute(ctx)
-                if isinstance(result, dict) and result and all(
-                    k in {o.key for o in op.outputs} for k in result
-                ):
-                    env.update(result)
-                else:
-                    env[op.outputs[0].key] = result
-                op_results[id(op)] = result
-                op_extra[id(op)] = {
-                    key: dict(extra) for key, extra in ctx.extra_meta.items()
-                }
-        outputs = {
-            key: env[key] for key in subtask.output_keys if key in env
-        }
-        return SubtaskComputation(op_results, op_extra, outputs)
+        runner = self.runners.get(subtask.band)
+        return runner.precompute(subtask) if runner is not None else None
 
     # -- fault recovery -------------------------------------------------
     def _run_subtask_with_recovery(
@@ -315,8 +344,8 @@ class GraphExecutor:
                 end = self._run_guarded(subtask, graph, completion, base_time,
                                         retain, consumers, stage,
                                         computed=computed)
-                self.recovery.record(subtask)
-                self.scheduler.note_completed(subtask)
+                self.lifecycle.record(subtask)
+                self.scheduling.note_completed(subtask)
                 return end
             spec = injector.spec
             ident = (subtask.stage_index, subtask.priority)
@@ -352,8 +381,8 @@ class GraphExecutor:
                     if lost:
                         self._recover_lost(lost, base_time, stage)
                     continue
-                self.recovery.record(subtask)
-                self.scheduler.note_completed(subtask)
+                self.lifecycle.record(subtask)
+                self.scheduling.note_completed(subtask)
                 self._inject_post_subtask(subtask, stage)
                 return end
         finally:
@@ -407,7 +436,7 @@ class GraphExecutor:
         except WorkerOutOfMemory:
             pass
         # rung (b): reschedule onto the freest worker's earliest band.
-        target = self.pressure.freest_worker()
+        target = self.scheduling.freest_worker()
         if target != worker and not recovering:
             stage.oom_retries += 1
             bands = [b.name for b in self.cluster.bands if b.worker == target]
@@ -415,7 +444,7 @@ class GraphExecutor:
                 bands,
                 key=lambda name: (self.cluster.clock.band_free[name], name),
             )
-            self.scheduler.reassign(subtask, new_band)
+            self.scheduling.reassign(subtask, new_band)
             worker = target
             try:
                 return self._run_subtask(
@@ -429,7 +458,7 @@ class GraphExecutor:
         # retry under exclusive admission; a second failure here means
         # the subtask cannot fit even alone — escalate to re-tiling (d).
         stage.oom_retries += 1
-        self.pressure.degrade(worker)
+        self.scheduling.degrade(worker)
         return self._run_subtask(
             subtask, graph, completion, base_time, retain, consumers,
             stage, computed=computed, recovering=recovering,
@@ -446,7 +475,7 @@ class GraphExecutor:
         Recovery re-executions skip refcount cleanup and post-subtask
         injection, so they converge even at 100% loss rates.
         """
-        plan = self.recovery.plan(keys, self.storage.contains)
+        plan = self.lifecycle.plan(keys)
         for producer in plan:
             self._run_guarded(
                 producer, None, {}, base_time, set(), {}, stage,
@@ -477,7 +506,7 @@ class GraphExecutor:
         # (that is the re-registration path the lifecycle tests pin).
         # Refcount frees, by contrast, forget the index eagerly.
         self.storage.delete(key)
-        self.scheduler.forget_chunk(key)
+        self.scheduling.forget_chunk(key)
 
     def _kill_worker(self, worker: str, stage: SimReport) -> None:
         """Simulate a worker crash right after a subtask completed.
@@ -488,7 +517,7 @@ class GraphExecutor:
         configured restart time before accepting more work.
         """
         for key in list(self.storage.keys_on(worker)):
-            if self.recovery.producer_of(key) is None:
+            if self.lifecycle.producer_of(key) is None:
                 continue
             self._lose_chunk(key)
         restart = self.cluster.faults.spec.worker_restart_time
@@ -682,11 +711,11 @@ class GraphExecutor:
             # the ledger reserves the *estimated* footprint (what a real
             # scheduler knows pre-execution), floored by the actual
             # working set the simulator just measured.
-            request = max(working_set, self.pressure.estimator.estimate(subtask))
-            exclusive = self.pressure.is_degraded(worker)
+            request = max(working_set, self.scheduling.estimate(subtask))
+            exclusive = self.scheduling.is_degraded(worker)
             if exclusive:
                 stage.degraded_subtasks += 1
-            decision = self.pressure.admission.admit(
+            decision = self.scheduling.admit(
                 worker, request, ready_time, tracker.used, tracker.limit,
                 allow_wait=self.config.admission_control,
                 exclusive=exclusive,
@@ -731,7 +760,7 @@ class GraphExecutor:
                 )
             if recovering:
                 stage.recovery_bytes += stored
-                self.scheduler.record_chunk(key, subtask.band)
+                self.scheduling.record_chunk(key, subtask.band)
             extra = self._pending_extra.pop(key, None)
             self.meta.set_from_value(key, env[key], extra=extra)
 
@@ -749,28 +778,21 @@ class GraphExecutor:
         if decision is not None:
             # the grant spans the subtask's virtual execution; later
             # admissions on this worker see it until ``end`` passes.
-            self.pressure.admission.commit(decision, end)
-            self.pressure.estimator.observe(subtask, sizes)
+            self.scheduling.commit_grant(decision, end)
+            self.scheduling.observe(subtask, sizes)
 
         stage.total_compute_seconds += duration
         stage.total_transfer_bytes += transferred
         self._executed_subtasks += 1
 
         # -- reference-count cleanup --------------------------------------------------
-        # eager engines (eager_release=False) pin user-visible intermediate
-        # frames (terminal chunks) but still free internal stage chunks
-        # (map partials, shuffle partitions), like Ray's reference counting.
-        # Recovery re-executions skip this: the original run already
-        # consumed its inputs' refcounts, decrementing again would free
-        # chunks other consumers still need.
+        # the lifecycle service owns the stage's consumer refcounts
+        # (installed by ``begin_stage``) and frees through its own
+        # storage/shuffle handles. Recovery re-executions skip this: the
+        # original run already consumed its inputs' refcounts,
+        # decrementing again would free chunks other consumers still need.
         if not recovering:
-            for key in subtask.input_keys:
-                consumers[key] -= 1
-                if consumers[key] <= 0 and key not in retain:
-                    if self.config.eager_release or not self._terminal_keys.get(key, False):
-                        self.storage.delete(key)
-                        if self.shuffle is not None:
-                            self.shuffle.forget_key(key)
+            self.lifecycle.release_consumed(subtask.input_keys)
         return end
 
     # ------------------------------------------------------------------

@@ -101,5 +101,10 @@ class MetaService:
         with self._lock:
             self._metas.pop(key, None)
 
+    def count(self) -> int:
+        """Number of recorded chunk metas (``len()`` for actor refs)."""
+        with self._lock:
+            return len(self._metas)
+
     def __len__(self) -> int:
         return len(self._metas)

@@ -13,11 +13,13 @@ faces (Section III-C):
 from __future__ import annotations
 
 import inspect
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..config import Config
 from ..graph.entity import ChunkData, TileableData
-from .meta import ChunkMeta, MetaService
+
+if TYPE_CHECKING:
+    from .meta import ChunkMeta, MetaService
 
 
 class TileContext:

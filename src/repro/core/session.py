@@ -1,10 +1,13 @@
-"""Sessions: the service that owns a cluster, executes tileables, and
-implements deferred evaluation.
+"""Sessions: the thin client over one session's deployed service plane.
 
-A session bundles the cluster state, storage, meta service, scheduler,
-executor and tiling engine, and exposes ``execute``/``fetch``. User-facing
-``repr`` of a distributed DataFrame/Tensor triggers ``execute`` behind
-the scenes ("deferred evaluation", Section IV-C): lazy until looked at.
+``Session`` owns only the cluster and actor refs: every engine service —
+meta, storage, shuffle, scheduling, lifecycle, the per-band subtask
+runners — is an actor created by :func:`repro.services.deploy_services`
+on the supervisor/worker pools, and a supervisor-side
+:class:`SessionActor` coordinates each run (tiling, execution, the
+memory-aware re-tile loop, fetch assembly).  User-facing ``repr`` of a
+distributed DataFrame/Tensor triggers ``execute`` behind the scenes
+("deferred evaluation", Section IV-C): lazy until looked at.
 """
 
 from __future__ import annotations
@@ -17,16 +20,14 @@ import numpy as np
 from ..actors import Actor
 from ..cluster.cluster import SUPERVISOR_ADDRESS, ClusterState
 from ..config import Config, default_config
-from ..errors import SessionError, WorkerOutOfMemory
+from ..errors import ActorError, SessionError, WorkerOutOfMemory
 from ..frame import DataFrame, Series, concat
 from ..graph.dag import DAG
 from ..graph.entity import TileableData
-from ..storage.service import StorageService
-from ..storage.shuffle import ShuffleManager
+from ..services import session_actor_uid
+from ..services.deploy import ServiceHandles, deploy_services
 from .executor import GraphExecutor
-from .meta import MetaService
 from .pruning import prune_columns
-from .scheduler import Scheduler
 from .tiler import TilingEngine, build_tileable_graph
 
 
@@ -61,65 +62,56 @@ class RunReport:
 
 
 class SessionActor(Actor):
-    """Supervisor-side bookkeeping actor for one session."""
+    """Supervisor-side coordinator for one session's runs.
 
-    def __init__(self, session_id: str):
+    Owns the run machinery the session client must not hold directly:
+    the :class:`GraphExecutor` (wired to the deployed service refs), the
+    :class:`TilingEngine`, the last run's report and the execution
+    record.  Every ``Session.execute`` becomes one ``execute_tileables``
+    message to this actor, whose nested service calls (scheduling,
+    storage, lifecycle, runners) are attributed to it in the message
+    trace.
+    """
+
+    def __init__(self, session_id: str, cluster: ClusterState,
+                 config: Config, services: ServiceHandles):
         super().__init__()
         self.session_id = session_id
+        self.cluster = cluster
+        self.config = config
+        self.services = services
+        self.executor = GraphExecutor(
+            cluster, services.storage, services.meta, config,
+            scheduler=services.scheduling, shuffle=services.shuffle,
+            lifecycle=services.lifecycle, runners=dict(services.runners),
+        )
+        self.tiler = TilingEngine(self.executor, services.meta, config)
         self.executed_tileables: list[str] = []
+        self.last_report = RunReport()
 
+    # -- bookkeeping ---------------------------------------------------
     def record_execution(self, tileable_key: str) -> None:
         self.executed_tileables.append(tileable_key)
 
     def execution_count(self) -> int:
         return len(self.executed_tileables)
 
+    def get_executor(self) -> GraphExecutor:
+        return self.executor
 
-class Session:
-    """One user session on a (simulated) cluster."""
+    def get_tiler(self) -> TilingEngine:
+        return self.tiler
 
-    _counter = 0
+    def get_last_report(self) -> RunReport:
+        return self.last_report
 
-    def __init__(self, config: Config | None = None):
-        self.config = config if config is not None else default_config()
-        self.cluster = ClusterState(self.config)
-        self.storage = StorageService(self.cluster, self.config)
-        self.meta = MetaService()
-        self.scheduler = Scheduler(self.cluster, self.config)
-        self.shuffle = ShuffleManager(self.storage)
-        self.executor = GraphExecutor(
-            self.cluster, self.storage, self.meta, self.config,
-            scheduler=self.scheduler, shuffle=self.shuffle,
-        )
-        self.tiler = TilingEngine(self.executor, self.meta, self.config)
-        Session._counter += 1
-        self.session_id = f"session-{Session._counter}"
-        self._actor_ref = self.cluster.actor_system.create_actor(
-            SUPERVISOR_ADDRESS, SessionActor, self.session_id,
-            uid=f"{self.session_id}/actor",
-        )
-        self.closed = False
-        self.last_report = RunReport()
-
-    # ------------------------------------------------------------------
-    def execute(self, *tileables: TileableData,
-                parallel: bool | None = None) -> list[Any]:
-        """Materialize the given tileables; returns their full values.
-
-        ``parallel`` overrides ``config.parallel_execution`` for this
-        call — including the dynamic-tiling yield executions, which run
-        under the same mode so tiling stages synchronize identically
-        (every stage's execute returns only after its accounting walk
-        drained the band runner).
-        """
-        if self.closed:
-            raise SessionError(f"session {self.session_id} is closed")
-        if not tileables:
-            raise ValueError("nothing to execute")
-
+    # -- run coordination ----------------------------------------------
+    def execute_tileables(self, tileables: Sequence[TileableData],
+                          parallel: bool | None = None) -> list[Any]:
+        storage = self.services.storage
         t0 = self.cluster.clock.makespan
-        transfer0 = self.storage.total_transferred_bytes
-        spill0 = self.storage.total_spilled_bytes
+        transfer0 = storage.transferred_bytes()
+        spill0 = storage.spilled_bytes()
         yields0 = self.tiler.yield_count
         subtasks0 = self.executor.report.n_subtasks
         nodes0 = self.executor.report.n_graph_nodes
@@ -154,7 +146,7 @@ class Session:
                     pretiled = {
                         node.key for node in graph.nodes() if node.is_tiled
                     }
-                    stored_before = set(self.storage.all_keys())
+                    stored_before = set(storage.all_keys())
                     if self.config.column_pruning:
                         prune_columns(graph, list(tileables))
                 try:
@@ -181,16 +173,16 @@ class Session:
 
         # fetch before building the report: fetch-time recovery of lost
         # terminal chunks must land in this run's recovery accounting.
-        values = [self.fetch(t) for t in tileables]
+        values = [self.fetch_tileable(t) for t in tileables]
 
         self.last_report = RunReport(
             makespan=self.cluster.clock.makespan - t0,
-            transferred_bytes=self.storage.total_transferred_bytes - transfer0,
+            transferred_bytes=storage.transferred_bytes() - transfer0,
             shuffle_bytes=self.executor.report.total_shuffle_bytes - shuffle0,
             combine_dropped_rows=(
                 self.executor.report.combine_dropped_rows - combine0
             ),
-            spilled_bytes=self.storage.total_spilled_bytes - spill0,
+            spilled_bytes=storage.spilled_bytes() - spill0,
             n_subtasks=self.executor.report.n_subtasks - subtasks0,
             n_graph_nodes=self.executor.report.n_graph_nodes - nodes0,
             dynamic_yields=self.tiler.yield_count - yields0,
@@ -214,7 +206,7 @@ class Session:
             peak_memory=self.cluster.peak_memory(),
         )
         for tileable in tileables:
-            self._actor_ref.record_execution(tileable.key)
+            self.record_execution(tileable.key)
         return values
 
     # ------------------------------------------------------------------
@@ -233,14 +225,15 @@ class Session:
                 continue
             node.chunks = []
             node.nsplits = ()
-        for key in self.storage.all_keys():
+        storage = self.services.storage
+        for key in storage.all_keys():
             if key not in stored_before:
-                self.storage.delete(key)
-                self.shuffle.forget_key(key)
-                self.scheduler.forget_chunk(key)
+                storage.delete(key)
+                self.services.shuffle.forget_key(key)
+                self.services.scheduling.forget_chunk(key)
 
     # ------------------------------------------------------------------
-    def fetch(self, tileable: TileableData) -> Any:
+    def fetch_tileable(self, tileable: TileableData) -> Any:
         """Assemble a materialized tileable's chunks into one value."""
         if not tileable.is_tiled:
             raise SessionError(
@@ -252,32 +245,136 @@ class Session:
             [chunk.key for chunk in tileable.chunks]
         )
         values = {
-            chunk.index: self.storage.peek(chunk.key)
+            chunk.index: self.services.storage.peek(chunk.key)
             for chunk in tileable.chunks
         }
         return assemble(tileable.kind, values)
 
     def is_materialized(self, tileable: TileableData) -> bool:
         return tileable.is_tiled and all(
-            self.storage.contains(chunk.key) for chunk in tileable.chunks
+            self.services.storage.contains(chunk.key)
+            for chunk in tileable.chunks
         )
 
-    # ------------------------------------------------------------------
-    def free(self, tileable: TileableData) -> None:
+    def free_tileable(self, tileable: TileableData) -> None:
         """Drop a tileable's cached chunk data (it can be recomputed)."""
         for chunk in tileable.chunks:
-            self.storage.delete(chunk.key)
+            self.services.storage.delete(chunk.key)
 
     def reset_metrics(self) -> None:
         """Fresh virtual clocks and counters (used between benchmark runs)."""
         self.cluster.reset_clock()
         self.executor.chunk_ready_at.clear()
 
+
+class Session:
+    """One user session on a (simulated) cluster — a thin client.
+
+    Holds the cluster plus *actor refs only*: ``storage``, ``meta``,
+    ``scheduler``, ``shuffle`` and ``lifecycle`` are
+    :class:`~repro.actors.ActorRef` handles to the deployed service
+    plane, and all run coordination lives in the supervisor-side
+    :class:`SessionActor` behind ``_actor_ref``.
+    """
+
+    _counter = 0
+
+    def __init__(self, config: Config | None = None):
+        self.config = config if config is not None else default_config()
+        self.cluster = ClusterState(self.config)
+        services = deploy_services(self.cluster, self.config)
+        self.storage = services.storage
+        self.meta = services.meta
+        self.scheduler = services.scheduling
+        self.shuffle = services.shuffle
+        self.lifecycle = services.lifecycle
+        Session._counter += 1
+        self.session_id = f"session-{Session._counter}"
+        self._actor_ref = self.cluster.actor_system.create_actor(
+            SUPERVISOR_ADDRESS, SessionActor, self.session_id, self.cluster,
+            self.config, services, uid=session_actor_uid(self.session_id),
+        )
+        self.closed = False
+
+    # -- coordinator state (read through the session actor) -------------
+    @property
+    def executor(self) -> GraphExecutor:
+        return self._actor_ref.get_executor()
+
+    @property
+    def tiler(self) -> TilingEngine:
+        return self._actor_ref.get_tiler()
+
+    @property
+    def last_report(self) -> RunReport:
+        return self._actor_ref.get_last_report()
+
+    # ------------------------------------------------------------------
+    def execute(self, *tileables: TileableData,
+                parallel: bool | None = None) -> list[Any]:
+        """Materialize the given tileables; returns their full values.
+
+        ``parallel`` overrides ``config.parallel_execution`` for this
+        call — including the dynamic-tiling yield executions, which run
+        under the same mode so tiling stages synchronize identically
+        (every stage's execute returns only after its accounting walk
+        drained the band runner).
+        """
+        if self.closed:
+            raise SessionError(f"session {self.session_id} is closed")
+        if not tileables:
+            raise ValueError("nothing to execute")
+        return self._actor_ref.execute_tileables(
+            list(tileables), parallel=parallel,
+        )
+
+    def fetch(self, tileable: TileableData) -> Any:
+        """Assemble a materialized tileable's chunks into one value."""
+        if self.closed:
+            raise SessionError(f"session {self.session_id} is closed")
+        return self._actor_ref.fetch_tileable(tileable)
+
+    def is_materialized(self, tileable: TileableData) -> bool:
+        return self._actor_ref.is_materialized(tileable)
+
+    def free(self, tileable: TileableData) -> None:
+        """Drop a tileable's cached chunk data (it can be recomputed)."""
+        self._actor_ref.free_tileable(tileable)
+
+    def reset_metrics(self) -> None:
+        """Fresh virtual clocks and counters (used between benchmark runs)."""
+        self._actor_ref.reset_metrics()
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        if not self.closed:
+        """Tear the session down: drop data, destroy actors, stop pools.
+
+        Idempotent — a second ``close`` (or ``__del__`` after an explicit
+        close) is a no-op, and a partially torn-down actor plane never
+        makes close raise.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        system = self.cluster.actor_system
+        try:
             self.storage.clear()
-            self.cluster.shutdown()
-            self.closed = True
+        except ActorError:
+            pass  # pools already stopped by an outside shutdown
+        try:
+            system.destroy_actor(
+                SUPERVISOR_ADDRESS, session_actor_uid(self.session_id),
+            )
+        except ActorError:
+            pass
+        self.cluster.shutdown()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            # interpreter teardown: pools/modules may be half-gone.
+            pass
 
     def __enter__(self) -> "Session":
         return self

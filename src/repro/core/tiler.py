@@ -18,15 +18,17 @@ Dask/Modin-style planners.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..config import Config
 from ..errors import TilingError
 from ..graph.dag import DAG
 from ..graph.entity import ChunkData, TileableData
 from .executor import GraphExecutor
-from .meta import MetaService
 from .operator import TileContext, run_tile
+
+if TYPE_CHECKING:
+    from .meta import MetaService
 
 
 def build_tileable_graph(results: Sequence[TileableData]) -> DAG[TileableData]:

@@ -98,11 +98,11 @@ def memory_report(session: Session) -> str:
             f"{human_bytes(tracker.limit):>10s}"
         )
     lines.append(
-        f"total spilled: {human_bytes(session.storage.total_spilled_bytes)}"
+        f"total spilled: {human_bytes(session.storage.spilled_bytes())}"
     )
     lines.append(
         f"total transferred: "
-        f"{human_bytes(session.storage.total_transferred_bytes)}"
+        f"{human_bytes(session.storage.transferred_bytes())}"
     )
     return "\n".join(lines)
 
@@ -143,6 +143,38 @@ def pressure_report(session: Session) -> str:
     degraded = sorted(pressure.degraded_workers)
     if degraded:
         lines.append(f"  degraded workers:    {', '.join(degraded)}")
+    return "\n".join(lines)
+
+
+def service_report(session: Session, top: int = 8) -> str:
+    """The actor plane's RPC trace, summarized per service.
+
+    Reads the :class:`~repro.actors.MessageLog` aggregates (which
+    survive window trimming): messages delivered to each service actor,
+    the chattiest sender -> recipient pairs, and — when the session has
+    executed subtasks — the message cost per subtask, the number that
+    tells you whether a boundary is too chatty for a real RPC plane.
+    """
+    log = session.cluster.actor_system.log
+    snapshot = log.snapshot()
+    lines = [
+        "service plane:",
+        f"  messages delivered:  {snapshot['total_delivered']}",
+    ]
+    n_subtasks = session.executor.report.n_subtasks
+    if n_subtasks:
+        per = snapshot["total_delivered"] / n_subtasks
+        lines.append(
+            f"  per subtask:         {per:.1f} ({n_subtasks} subtasks)"
+        )
+    lines.append("  per service:")
+    for recipient, count in sorted(
+        snapshot["recipients"].items(), key=lambda item: (-item[1], item[0]),
+    ):
+        lines.append(f"    {recipient:24s} {count:>8d}")
+    lines.append(f"  top {top} edges:")
+    for (sender, recipient), count in log.top_edges(top):
+        lines.append(f"    {sender} -> {recipient:24s} {count:>8d}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,65 @@
+"""Supervisor/worker service actors (the Xoscar service plane).
+
+The paper's Section III-B architecture runs every engine concern as a
+service actor on the supervisor or on a worker:
+
+=====================  ============================================
+supervisor actor       wraps
+=====================  ============================================
+``MetaActor``          :class:`~repro.core.meta.MetaService`
+``StorageManagerActor`` :class:`~repro.storage.service.StorageService`
+``ShuffleActor``       :class:`~repro.storage.shuffle.ShuffleManager`
+``SchedulingActor``    :class:`~repro.services.scheduling.SchedulingService`
+``LifecycleActor``     :class:`~repro.services.lifecycle.LifecycleService`
+``SessionActor``       one run's executor + tiling engine
+=====================  ============================================
+
+=====================  ============================================
+worker/band actor      wraps
+=====================  ============================================
+``StorageActor``       :class:`~repro.storage.worker.WorkerStorage`
+``SubtaskRunnerActor`` :class:`~repro.services.runner.SubtaskRunner`
+=====================  ============================================
+
+Cross-service calls go through ``ActorRef``s, so the actor system's
+``MessageLog`` is a faithful RPC trace of the engine.  Deployment lives
+in :mod:`repro.services.deploy`.
+"""
+
+from __future__ import annotations
+
+from .base import ServiceActor
+
+#: supervisor-side service actor uids.
+META_UID = "service/meta"
+STORAGE_UID = "service/storage"
+SHUFFLE_UID = "service/shuffle"
+SCHEDULING_UID = "service/scheduling"
+LIFECYCLE_UID = "service/lifecycle"
+
+
+def worker_storage_uid(worker: str) -> str:
+    """Uid of the per-worker storage actor (lives on the worker's pool)."""
+    return f"worker/{worker}/storage"
+
+
+def runner_uid(band: str) -> str:
+    """Uid of the per-band subtask runner actor."""
+    return f"runner/{band}"
+
+
+def session_actor_uid(session_id: str) -> str:
+    return f"{session_id}/actor"
+
+
+__all__ = [
+    "ServiceActor",
+    "META_UID",
+    "STORAGE_UID",
+    "SHUFFLE_UID",
+    "SCHEDULING_UID",
+    "LIFECYCLE_UID",
+    "worker_storage_uid",
+    "runner_uid",
+    "session_actor_uid",
+]

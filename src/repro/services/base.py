@@ -1,0 +1,34 @@
+"""Base class for actors that front an existing service object."""
+
+from __future__ import annotations
+
+from ..actors import Actor
+
+
+class ServiceActor(Actor):
+    """An actor exposing an allowlisted slice of a wrapped service.
+
+    Message delivery resolves methods with ``getattr``, so delegating
+    through ``__getattr__`` gives every allowlisted service method an
+    actor-plane entry point without forwarding boilerplate.  Anything
+    not in :attr:`service_methods` is unreachable through a ref — the
+    allowlist *is* the service's message interface.
+    """
+
+    #: method names remotable on this service.
+    service_methods: frozenset[str] = frozenset()
+
+    def __init__(self, service):
+        super().__init__()
+        self._service = service
+
+    def __getattr__(self, name: str):
+        if name in type(self).service_methods:
+            return getattr(self._service, name)
+        raise AttributeError(
+            f"{type(self).__name__} exposes no method {name!r}"
+        )
+
+    def backend(self):
+        """The wrapped service object (tests and diagnostics only)."""
+        return self._service

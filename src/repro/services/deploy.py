@@ -1,0 +1,103 @@
+"""Service deployment: create every engine service as an actor.
+
+One call builds the paper's supervisor/worker service plane on an
+existing cluster's actor pools and returns the refs the session client
+and executor hold.  All service objects live *inside* their actors;
+callers get ``ActorRef``s only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cluster.cluster import SUPERVISOR_ADDRESS, ClusterState
+from ..config import Config
+from ..core.meta import MetaService
+from ..storage.service import StorageService
+from ..storage.shuffle import ShuffleManager
+from . import (
+    LIFECYCLE_UID,
+    META_UID,
+    SCHEDULING_UID,
+    SHUFFLE_UID,
+    STORAGE_UID,
+    runner_uid,
+    worker_storage_uid,
+)
+from .lifecycle import LifecycleActor, LifecycleService
+from .meta import MetaActor
+from .runner import SubtaskRunner, SubtaskRunnerActor
+from .scheduling import SchedulingActor, SchedulingService
+from .shuffle import ShuffleActor
+from .storage import StorageActor, StorageManagerActor
+
+
+@dataclass
+class ServiceHandles:
+    """Actor refs to one session's deployed services."""
+
+    meta: Any = None
+    storage: Any = None
+    scheduling: Any = None
+    lifecycle: Any = None
+    shuffle: Any = None
+    #: band name -> ref of the band's subtask runner actor.
+    runners: dict[str, Any] = field(default_factory=dict)
+
+
+def deploy_services(cluster: ClusterState, config: Config) -> ServiceHandles:
+    """Stand up the full service plane on ``cluster``'s pools.
+
+    Supervisor pool: meta, storage router, shuffle index, scheduling,
+    lifecycle.  Worker pools: one storage actor per worker (owning that
+    worker's tiers) and one subtask runner actor per band.
+    """
+    system = cluster.actor_system
+
+    meta = system.create_actor(
+        SUPERVISOR_ADDRESS, MetaActor, MetaService(), uid=META_UID,
+    )
+
+    router = StorageService(cluster, config)
+    worker_refs = {
+        worker.name: system.create_actor(
+            worker.name, StorageActor, router.worker_unit(worker.name),
+            uid=worker_storage_uid(worker.name),
+        )
+        for worker in cluster.workers
+    }
+    router.use_worker_handles(worker_refs)
+    storage = system.create_actor(
+        SUPERVISOR_ADDRESS, StorageManagerActor, router, uid=STORAGE_UID,
+    )
+
+    shuffle = system.create_actor(
+        SUPERVISOR_ADDRESS, ShuffleActor, ShuffleManager(storage),
+        uid=SHUFFLE_UID,
+    )
+
+    scheduling = system.create_actor(
+        SUPERVISOR_ADDRESS, SchedulingActor,
+        SchedulingService.create(cluster, config, meta, storage),
+        uid=SCHEDULING_UID,
+    )
+
+    lifecycle = system.create_actor(
+        SUPERVISOR_ADDRESS, LifecycleActor,
+        LifecycleService(storage, shuffle, config), uid=LIFECYCLE_UID,
+    )
+
+    runners = {
+        band.name: system.create_actor(
+            band.worker, SubtaskRunnerActor,
+            SubtaskRunner(band.name, storage, config),
+            uid=runner_uid(band.name),
+        )
+        for band in cluster.bands
+    }
+
+    return ServiceHandles(
+        meta=meta, storage=storage, scheduling=scheduling,
+        lifecycle=lifecycle, shuffle=shuffle, runners=runners,
+    )

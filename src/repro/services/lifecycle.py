@@ -1,0 +1,95 @@
+"""The lifecycle service: chunk reference counting and lineage.
+
+Owns what used to be inlined in the executor: the per-stage consumer
+refcounts that decide when an intermediate chunk is freed, the
+terminal-chunk flags that exempt user-visible results from eager
+release, and the :class:`~repro.core.recovery.RecoveryManager` lineage
+registry.  Frees go out through the service's own storage/shuffle
+handles, so the message trace shows ``service/lifecycle ->
+service/storage`` for every refcount-driven delete.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.recovery import RecoveryManager
+from .base import ServiceActor
+
+
+class LifecycleService:
+    """Refcount/forget logic plus the lineage registry."""
+
+    def __init__(self, storage, shuffle=None, config=None):
+        self._storage = storage
+        self._shuffle = shuffle
+        self._config = config
+        self._recovery = RecoveryManager()
+        #: chunk key -> is a tileable-boundary (user-visible) chunk;
+        #: persisted across stages like the executor's old field.
+        self._terminal: dict[str, bool] = {}
+        #: active stage's remaining-consumer counts and retained keys.
+        self._consumers: defaultdict[str, int] = defaultdict(int)
+        self._retain: set[str] = set()
+
+    # -- stage refcounting -------------------------------------------------
+    def register_terminals(self, terminal_by_key: dict[str, bool]) -> None:
+        self._terminal.update(terminal_by_key)
+
+    def is_terminal(self, key: str) -> bool:
+        return self._terminal.get(key, False)
+
+    def begin_stage(self, consumers: dict[str, int], retain) -> None:
+        """Install one stage's consumer counts and protected keys."""
+        self._consumers = defaultdict(int, consumers)
+        self._retain = set(retain)
+
+    def release_consumed(self, input_keys) -> list[str]:
+        """One subtask consumed ``input_keys``; free what dropped to zero.
+
+        Eager engines (``eager_release=False``) pin user-visible
+        intermediate frames (terminal chunks) but still free internal
+        stage chunks (map partials, shuffle partitions), like Ray's
+        reference counting.  Returns the freed keys.
+        """
+        eager = bool(self._config.eager_release) if self._config else False
+        freed: list[str] = []
+        for key in input_keys:
+            self._consumers[key] -= 1
+            if self._consumers[key] <= 0 and key not in self._retain:
+                if eager or not self._terminal.get(key, False):
+                    self._storage.delete(key)
+                    if self._shuffle is not None:
+                        self._shuffle.forget_key(key)
+                    freed.append(key)
+        return freed
+
+    # -- lineage -----------------------------------------------------------
+    def record(self, subtask) -> None:
+        self._recovery.record(subtask)
+
+    def producer_of(self, key: str):
+        return self._recovery.producer_of(key)
+
+    def plan(self, keys) -> list:
+        """Minimal lineage closure whose re-execution restores ``keys``."""
+        return self._recovery.plan(keys, self._storage.contains)
+
+    def recovery_manager(self) -> RecoveryManager:
+        """The lineage registry itself (tests and tile-context checks)."""
+        return self._recovery
+
+
+class LifecycleActor(ServiceActor):
+    """Fronts a :class:`LifecycleService` on the supervisor pool."""
+
+    service_methods = frozenset({
+        "register_terminals",
+        "is_terminal",
+        "begin_stage",
+        "release_consumed",
+        "record",
+        "producer_of",
+        "plan",
+        "recovery_manager",
+    })

@@ -1,0 +1,20 @@
+"""Supervisor-side metadata service actor."""
+
+from __future__ import annotations
+
+from .base import ServiceActor
+
+
+class MetaActor(ServiceActor):
+    """Fronts the :class:`~repro.core.meta.MetaService` chunk-meta store."""
+
+    service_methods = frozenset({
+        "set",
+        "set_from_value",
+        "get",
+        "require",
+        "has",
+        "update_extra",
+        "delete",
+        "count",
+    })

@@ -1,0 +1,95 @@
+"""Per-band subtask runners: the compute phase as a worker-side service.
+
+Each band gets one :class:`SubtaskRunner` (fronted by a
+:class:`SubtaskRunnerActor` on the band's worker pool).  A runner only
+ever executes kernels against real values — it touches no shared
+service state besides accounting-free storage reads — so the executor's
+accounting walk stays the single writer of every simulated number, in
+both serial and parallel modes:
+
+- parallel mode: the band dispatcher calls :meth:`compute` from pool
+  threads as dependencies resolve (one logical slot per band);
+- serial mode: the accounting walk calls :meth:`precompute` for each
+  subtask just before accounting it, so kernel execution goes through
+  the same runner interface (and shows up in the message trace) while
+  the walk consumes the precomputed record exactly like the parallel
+  path does.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.dispatch import SubtaskComputation
+from ..core.operator import ExecContext
+from ..core.opfusion import plan_subtask
+from .base import ServiceActor
+
+
+class SubtaskRunner:
+    """Kernel execution for one band."""
+
+    def __init__(self, band: str, storage, config):
+        self.band = band
+        self._storage = storage
+        self._config = config
+
+    def compute(self, subtask, inputs: dict[str, Any]) -> SubtaskComputation:
+        """Run the subtask's kernels against ``inputs``.
+
+        May run on a band-runner pool thread.  Pure with respect to the
+        service plane: all storage/meta/clock/memory effects happen
+        later, in the accounting phase on the dispatching thread.
+        """
+        env: dict[str, Any] = dict(inputs)
+        steps = plan_subtask(subtask, enable=self._config.operator_fusion)
+        executed_ops: set[int] = set()
+        op_results: dict[int, Any] = {}
+        op_extra: dict[int, dict[str, dict]] = {}
+        for step in steps:
+            for chunk in step:
+                op = chunk.op
+                if op is None or id(op) in executed_ops:
+                    continue
+                executed_ops.add(id(op))
+                ctx = ExecContext(env, self._config)
+                result = op.execute(ctx)
+                if isinstance(result, dict) and result and all(
+                    k in {o.key for o in op.outputs} for k in result
+                ):
+                    env.update(result)
+                else:
+                    env[op.outputs[0].key] = result
+                op_results[id(op)] = result
+                op_extra[id(op)] = {
+                    key: dict(extra) for key, extra in ctx.extra_meta.items()
+                }
+        outputs = {
+            key: env[key] for key in subtask.output_keys if key in env
+        }
+        return SubtaskComputation(op_results, op_extra, outputs)
+
+    def precompute(self, subtask) -> SubtaskComputation | None:
+        """Serial-mode entry: gather inputs and compute, or bail to None.
+
+        Inputs come from accounting-free reads; the charged ``get`` for
+        the same keys happens in the accounting phase.  *Any* failure —
+        a missing input the retry machinery will recover, or a kernel
+        error — returns ``None`` so the accounting walk re-runs the
+        kernels inline and fails (or retries) at exactly the point the
+        pre-service engine did.
+        """
+        try:
+            inputs = {
+                key: self._storage.peek_value(key)
+                for key in subtask.input_keys
+            }
+            return self.compute(subtask, inputs)
+        except Exception:
+            return None
+
+
+class SubtaskRunnerActor(ServiceActor):
+    """Fronts one band's :class:`SubtaskRunner` on its worker's pool."""
+
+    service_methods = frozenset({"compute", "precompute"})

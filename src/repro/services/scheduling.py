@@ -1,0 +1,119 @@
+"""The scheduling service: placement plus memory-aware admission.
+
+Combines the :class:`~repro.core.scheduler.Scheduler` (band placement
+and load accounting) with the :class:`~repro.core.memory_control`
+subsystem (footprint estimator, admission ledger, degraded-worker state,
+dispatch gates) behind one flat message interface — what the paper's
+supervisor-side scheduling service owns.  The
+:class:`GraphExecutor` talks to this service (directly or through a
+:class:`SchedulingActor` ref) instead of reaching into scheduler or
+pressure internals.
+"""
+
+from __future__ import annotations
+
+from ..core.memory_control import MemoryPressure
+from ..core.scheduler import Scheduler
+from .base import ServiceActor
+
+
+class SchedulingService:
+    """Band placement + band-load accounting + memory admission."""
+
+    def __init__(self, scheduler: Scheduler, pressure: MemoryPressure):
+        self._scheduler = scheduler
+        self._pressure = pressure
+
+    @classmethod
+    def create(cls, cluster, config, meta, storage,
+               scheduler: Scheduler | None = None) -> "SchedulingService":
+        """Assemble the service over ``meta``/``storage`` handles.
+
+        The handles may be plain services or actor refs — the pressure
+        subsystem only calls methods on them.
+        """
+        if scheduler is None:
+            scheduler = Scheduler(cluster, config)
+        return cls(scheduler, MemoryPressure(config, cluster, meta, storage))
+
+    # -- placement ---------------------------------------------------------
+    def assign(self, subtask_graph, input_nbytes) -> None:
+        self._scheduler.assign(subtask_graph, input_nbytes)
+
+    def note_completed(self, subtask) -> None:
+        self._scheduler.note_completed(subtask)
+
+    def reassign(self, subtask, band: str) -> None:
+        self._scheduler.reassign(subtask, band)
+
+    def record_chunk(self, key: str, band: str) -> None:
+        self._scheduler.record_chunk(key, band)
+
+    def forget_chunk(self, key: str) -> None:
+        self._scheduler.forget_chunk(key)
+
+    # -- memory admission --------------------------------------------------
+    def begin_stage(self) -> None:
+        self._pressure.admission.begin_stage()
+
+    def admit(self, worker: str, request: int, ready_time: float,
+              used: int, limit: int, allow_wait: bool = True,
+              exclusive: bool = False):
+        return self._pressure.admission.admit(
+            worker, request, ready_time, used, limit,
+            allow_wait=allow_wait, exclusive=exclusive,
+        )
+
+    def commit_grant(self, decision, end: float) -> None:
+        self._pressure.admission.commit(decision, end)
+
+    def estimate(self, subtask) -> int:
+        return self._pressure.estimator.estimate(subtask)
+
+    def observe(self, subtask, sizes) -> None:
+        self._pressure.estimator.observe(subtask, sizes)
+
+    # -- pressure state ----------------------------------------------------
+    def is_degraded(self, worker: str) -> bool:
+        return self._pressure.is_degraded(worker)
+
+    def degrade(self, worker: str) -> None:
+        self._pressure.degrade(worker)
+
+    def freest_worker(self) -> str:
+        return self._pressure.freest_worker()
+
+    def dispatch_gate(self, order):
+        return self._pressure.dispatch_gate(order)
+
+    # -- introspection -----------------------------------------------------
+    def memory_pressure(self) -> MemoryPressure:
+        """The pressure subsystem (diagnostics and invariant checks)."""
+        return self._pressure
+
+    def scheduler_backend(self) -> Scheduler:
+        """The underlying placement scheduler (tests only)."""
+        return self._scheduler
+
+
+class SchedulingActor(ServiceActor):
+    """Fronts a :class:`SchedulingService` on the supervisor pool."""
+
+    service_methods = frozenset({
+        "assign",
+        "note_completed",
+        "reassign",
+        "record_chunk",
+        "forget_chunk",
+        "begin_stage",
+        "admit",
+        "commit_grant",
+        "estimate",
+        "observe",
+        "is_degraded",
+        "degrade",
+        "freest_worker",
+        "dispatch_gate",
+        "memory_pressure",
+        "scheduler_backend",
+    })

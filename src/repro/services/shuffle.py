@@ -1,0 +1,29 @@
+"""Supervisor-side shuffle index actor."""
+
+from __future__ import annotations
+
+from .base import ServiceActor
+
+
+class ShuffleActor(ServiceActor):
+    """Fronts the :class:`~repro.storage.shuffle.ShuffleManager` index.
+
+    Mapper registration, reducer gathers and index lifecycle all go
+    through this actor, so the shuffle data plane's storage reads show
+    up as ``service/shuffle -> service/storage`` messages in the trace.
+    """
+
+    service_methods = frozenset({
+        "register_partition",
+        "write_partition",
+        "mapper_count",
+        "gather",
+        "forget_key",
+        "cleanup",
+        "live_bytes",
+        "shuffle_bytes_total",
+        "gather_scanned_count",
+        "gather_fetch_count",
+        "reregistered_count",
+        "index_size",
+    })

@@ -1,4 +1,4 @@
-"""The storage service: tiered per-worker stores behind put/get by key.
+"""The storage service: a supervisor-side router over per-worker stores.
 
 Responsibilities (Section V-C):
 
@@ -11,60 +11,83 @@ Responsibilities (Section V-C):
   transfer and disk penalties;
 - track data location by key so shuffles and locality-aware scheduling
   know where chunks live.
+
+The service plane splits this into two layers.  Each worker's tiers,
+LRU ring, pins and spill counters live in a
+:class:`~repro.storage.worker.WorkerStorage` unit — fronted by a
+per-worker ``StorageActor`` in the actor deployment.  This class is the
+supervisor-side *router*: it owns only the key -> owner-worker index,
+the remote tier, the transfer ledger, and pin routing; every tier
+operation is delegated to the owning worker's unit through its message
+interface.  Units are duck-typed — a plain :class:`WorkerStorage` or an
+``ActorRef`` to a ``StorageActor`` both work, since the router only ever
+calls methods on them.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from typing import Any
 
 from ..cluster.cluster import ClusterState
 from ..config import Config
-from ..errors import StorageKeyError, WorkerOutOfMemory
+from ..errors import StorageKeyError
 from ..utils import sizeof
-from .base import AccessInfo, StorageBackend, StorageLevel, StoredItem
-from .disk import DiskBackend
-from .memory import MemoryBackend
+from .base import AccessInfo, StorageLevel, StoredItem
 from .remote import RemoteBackend
+from .worker import WorkerStorage
+
+#: owner marker for chunks living in the remote (object-store) tier.
+REMOTE_OWNER = ""
 
 
 class StorageService:
-    """Cluster-wide chunk storage with per-worker memory accounting."""
+    """Cluster-wide chunk routing over worker-local tiered stores."""
 
     def __init__(self, cluster: ClusterState, config: Config | None = None):
         self.cluster = cluster
         self.config = config if config is not None else cluster.config
-        #: guards every location/LRU/backend mutation: the accounting
-        #: walk owns all *charged* accesses, but the parallel band
-        #: runner's compute phase peeks values concurrently (and a spill
-        #: may move the peeked item between tiers mid-read).
+        #: guards every location/route mutation and makes each public
+        #: operation atomic: the accounting walk owns all *charged*
+        #: accesses, but the parallel band runner's compute phase peeks
+        #: values concurrently (and a spill may move the peeked item
+        #: between tiers mid-read).  Worker units are only ever invoked
+        #: under this lock, so they need no locking of their own.
         self._lock = threading.RLock()
-        self._memory: dict[str, MemoryBackend] = {}
-        self._disk: dict[str, DiskBackend] = {}
-        self._lru: dict[str, OrderedDict[str, None]] = {}
-        for worker in cluster.workers:
-            self._memory[worker.name] = MemoryBackend()
-            self._disk[worker.name] = DiskBackend()
-            self._lru[worker.name] = OrderedDict()
+        #: worker name -> worker storage handle (plain unit or actor ref).
+        self._workers: dict[str, Any] = {
+            worker.name: WorkerStorage(worker.name, cluster.memory[worker.name],
+                                       self.config)
+            for worker in cluster.workers
+        }
         self._remote = RemoteBackend()
-        #: key -> (worker_name, StorageLevel); remote uses worker_name "".
-        self._locations: dict[str, tuple[str, StorageLevel]] = {}
-        #: key -> pin count. Pinned chunks are never spill victims: the
-        #: executor pins a subtask's inputs for the whole accounting span
-        #: so admission/spill for one band cannot evict what another band
-        #: (or the subtask itself) is currently reading.
-        self._pins: dict[str, int] = {}
-        self.total_spilled_bytes = 0
-        #: bytes spilled by admissions that still ended in
-        #: WorkerOutOfMemory — kept out of ``total_spilled_bytes`` so the
-        #: spill metric reflects only spills that bought an admission.
-        self.failed_admission_spill_bytes = 0
-        #: bytes evicted by the OOM ladder's force-spill rung (kept out of
-        #: ``total_spilled_bytes``: these are recovery actions, not LRU
-        #: admissions).
-        self.forced_spill_bytes = 0
-        self.total_transferred_bytes = 0
+        #: key -> owner worker name (:data:`REMOTE_OWNER` for remote).
+        #: Tier level is worker-local state; ask the owner when needed.
+        self._locations: dict[str, str] = {}
+        #: key -> pin route stack: one entry per outstanding pin, naming
+        #: the worker the pin was routed to (None when the key was not
+        #: stored anywhere at pin time).  Pins are counted, so nested
+        #: pins (a chunk read by two in-flight subtasks) survive the
+        #: first unpin; and they survive delete/re-put — the route stack
+        #: is migrated to the new owner so unpin always balances.
+        self._pin_routes: dict[str, list[str | None]] = {}
+        self._transferred_bytes = 0
+
+    def use_worker_handles(self, handles: dict[str, Any]) -> None:
+        """Swap worker units for actor refs (the service deployment).
+
+        ``handles`` maps worker name -> handle fronting that worker's
+        existing :class:`WorkerStorage` state.
+        """
+        with self._lock:
+            unknown = set(handles) - set(self._workers)
+            if unknown:
+                raise KeyError(f"unknown workers: {sorted(unknown)}")
+            self._workers.update(handles)
+
+    def worker_unit(self, worker: str) -> Any:
+        """The storage handle owning ``worker``'s tiers."""
+        return self._workers[worker]
 
     # -- writes -----------------------------------------------------------
     def put(self, key: str, value: Any, worker: str,
@@ -83,26 +106,14 @@ class StorageService:
             if nbytes is None:
                 nbytes = sizeof(value)
             if level == StorageLevel.REMOTE:
-                self._remote.put(StoredItem(key, value, nbytes, level, ""))
-                self._locations[key] = ("", StorageLevel.REMOTE)
+                self._remote.put(StoredItem(key, value, nbytes, level,
+                                            REMOTE_OWNER))
+                self._locations[key] = REMOTE_OWNER
+                self._migrate_pins(key, None)
                 return nbytes
-            if level == StorageLevel.DISK:
-                self._disk[worker].put(
-                    StoredItem(key, value, nbytes, level, worker)
-                )
-                self._locations[key] = (worker, StorageLevel.DISK)
-                return nbytes
-            tracker = self.cluster.memory[worker]
-            if not tracker.can_fit(nbytes):
-                if self.config.spill_to_disk:
-                    self._spill_until_fits(worker, nbytes)
-                # retry; raises WorkerOutOfMemory if still too large
-            tracker.allocate(nbytes)
-            self._memory[worker].put(
-                StoredItem(key, value, nbytes, level, worker)
-            )
-            self._lru[worker][key] = None
-            self._locations[key] = (worker, StorageLevel.MEMORY)
+            self._workers[worker].put_local(key, value, nbytes, level)
+            self._locations[key] = worker
+            self._migrate_pins(key, worker)
             return nbytes
 
     def ensure_free(self, worker: str, nbytes: int) -> None:
@@ -111,65 +122,18 @@ class StorageService:
         Raises :class:`WorkerOutOfMemory` when spilling cannot make room.
         """
         with self._lock:
-            self._spill_until_fits(worker, nbytes)
-
-    def _spill_until_fits(self, worker: str, nbytes: int) -> None:
-        """Move least-recently-used *unpinned* chunks of ``worker`` to disk.
-
-        Pinned chunks (inputs of an in-flight subtask) are never victims.
-        If the budget still cannot fit after spilling every candidate,
-        the partial spill is charged to ``failed_admission_spill_bytes``
-        instead of ``total_spilled_bytes`` and
-        :class:`WorkerOutOfMemory` propagates — a failed admission must
-        not inflate the successful-spill metric.
-        """
-        tracker = self.cluster.memory[worker]
-        lru = self._lru[worker]
-        spilled_now = 0
-        for victim_key in list(lru):
-            if tracker.can_fit(nbytes):
-                break
-            if self._pins.get(victim_key):
-                continue
-            del lru[victim_key]
-            item = self._memory[worker].delete(victim_key)
-            tracker.release(item.nbytes)
-            item.level = StorageLevel.DISK
-            self._disk[worker].put(item)
-            self._locations[victim_key] = (worker, StorageLevel.DISK)
-            spilled_now += item.nbytes
-        if tracker.can_fit(nbytes):
-            self.total_spilled_bytes += spilled_now
-        else:
-            self.failed_admission_spill_bytes += spilled_now
-            raise WorkerOutOfMemory(worker, nbytes, tracker.limit, tracker.used)
+            self._workers[worker].ensure_free_local(nbytes)
 
     def force_spill(self, worker: str) -> int:
         """Evict every unpinned memory-resident chunk of ``worker`` to disk.
 
         The OOM recovery ladder's first rung: empties the worker's memory
         tier (minus in-flight pins) so the failing subtask can retry in
-        place. Returns the bytes moved; they are charged to
-        ``forced_spill_bytes``, not the LRU spill metric.
+        place. Returns the bytes moved; the worker charges them to its
+        forced-spill counter, not the LRU spill metric.
         """
         with self._lock:
-            if not self.config.spill_to_disk:
-                return 0
-            tracker = self.cluster.memory[worker]
-            lru = self._lru[worker]
-            spilled = 0
-            for victim_key in list(lru):
-                if self._pins.get(victim_key):
-                    continue
-                del lru[victim_key]
-                item = self._memory[worker].delete(victim_key)
-                tracker.release(item.nbytes)
-                item.level = StorageLevel.DISK
-                self._disk[worker].put(item)
-                self._locations[victim_key] = (worker, StorageLevel.DISK)
-                spilled += item.nbytes
-            self.forced_spill_bytes += spilled
-            return spilled
+            return self._workers[worker].force_spill_local()
 
     # -- reads ------------------------------------------------------------
     def get(self, key: str, requesting_worker: str) -> AccessInfo:
@@ -194,36 +158,28 @@ class StorageService:
 
     def _get_locked(self, key: str, requesting_worker: str,
                     touch_lru: bool = True) -> AccessInfo:
-        location = self._locations.get(key)
-        if location is None:
+        owner = self._locations.get(key)
+        if owner is None:
             raise StorageKeyError(key)
-        worker, level = location
-        if level == StorageLevel.REMOTE:
+        if owner == REMOTE_OWNER:
             item = self._remote.get(key)
-            self.total_transferred_bytes += item.nbytes
+            self._transferred_bytes += item.nbytes
             return AccessInfo(item.value, item.nbytes,
                               transferred_bytes=item.nbytes,
                               tier_penalty=self.config.cost_model.disk_penalty,
                               source_worker="<remote>")
+        value, nbytes, level = self._workers[owner].get_local(key, touch_lru)
+        transferred = nbytes if owner != requesting_worker else 0
+        self._transferred_bytes += transferred
         if level == StorageLevel.DISK:
-            item = self._disk[worker].get(key)
-            transferred = item.nbytes if worker != requesting_worker else 0
-            self.total_transferred_bytes += transferred
-            return AccessInfo(item.value, item.nbytes,
-                              transferred_bytes=transferred,
+            return AccessInfo(value, nbytes, transferred_bytes=transferred,
                               tier_penalty=self.config.cost_model.disk_penalty,
-                              source_worker=worker)
-        item = self._memory[worker].get(key)
-        if touch_lru:
-            self._lru[worker].move_to_end(key)
-        transferred = item.nbytes if worker != requesting_worker else 0
-        self.total_transferred_bytes += transferred
-        return AccessInfo(item.value, item.nbytes,
-                          transferred_bytes=transferred,
-                          source_worker=worker)
+                              source_worker=owner)
+        return AccessInfo(value, nbytes, transferred_bytes=transferred,
+                          source_worker=owner)
 
     def peek(self, key: str) -> Any:
-        """Read a value without charging transfers (driver-side fetches).
+        """Driver-side fetch: charged as a transfer from the owner worker.
 
         Read-only on the LRU: observing a chunk (``__repr__``,
         ``TileContext.peek``) must not change which chunk gets spilled
@@ -242,43 +198,68 @@ class StorageService:
         in deterministic order.
         """
         with self._lock:
-            location = self._locations.get(key)
-            if location is None:
+            owner = self._locations.get(key)
+            if owner is None:
                 raise StorageKeyError(key)
-            worker, level = location
-            return self._backend_for(worker, level).get(key).value
+            if owner == REMOTE_OWNER:
+                return self._remote.get(key).value
+            return self._workers[owner].value_of(key)
 
     # -- pinning ------------------------------------------------------------
     def pin(self, keys) -> None:
         """Protect ``keys`` from LRU spill while a subtask reads them.
 
-        Counted, so nested pins (a chunk read by two in-flight subtasks)
-        survive the first unpin.
+        Each pin is routed to the key's current owner worker, which keeps
+        the chunk out of its spill victim set; the route is remembered so
+        the matching unpin reaches the same worker.
         """
         with self._lock:
             for key in keys:
-                self._pins[key] = self._pins.get(key, 0) + 1
+                owner = self._locations.get(key)
+                worker = owner if owner else None
+                if worker is not None:
+                    self._workers[worker].pin_local([key])
+                self._pin_routes.setdefault(key, []).append(worker)
 
     def unpin(self, keys) -> None:
         """Release one pin level on each of ``keys``."""
         with self._lock:
             for key in keys:
-                count = self._pins.get(key)
-                if count is None:
+                routes = self._pin_routes.get(key)
+                if not routes:
                     continue
-                if count <= 1:
-                    del self._pins[key]
-                else:
-                    self._pins[key] = count - 1
+                worker = routes.pop()
+                if not routes:
+                    del self._pin_routes[key]
+                if worker is not None:
+                    self._workers[worker].unpin_local([key])
+
+    def _migrate_pins(self, key: str, new_worker: str | None) -> None:
+        """Re-route ``key``'s outstanding pins after a (re-)put.
+
+        A pinned chunk can be deleted and recreated on a different worker
+        (recovery recompute, overwrite); the global pin contract says it
+        stays protected wherever it lands, so move the worker-local pin
+        counts to the new owner and rewrite the route stack.
+        """
+        routes = self._pin_routes.get(key)
+        if not routes:
+            return
+        for old in set(routes):
+            if old is not None and old != new_worker:
+                self._workers[old].drop_pins_local(key)
+        if new_worker is not None:
+            self._workers[new_worker].set_pin_count_local(key, len(routes))
+        self._pin_routes[key] = [new_worker] * len(routes)
 
     def is_pinned(self, key: str) -> bool:
         with self._lock:
-            return bool(self._pins.get(key))
+            return bool(self._pin_routes.get(key))
 
     def pinned_keys(self) -> list[str]:
         """Keys currently pin-protected (empty between subtasks)."""
         with self._lock:
-            return [key for key, count in self._pins.items() if count > 0]
+            return [key for key, routes in self._pin_routes.items() if routes]
 
     # -- bookkeeping --------------------------------------------------------
     def contains(self, key: str) -> bool:
@@ -286,43 +267,66 @@ class StorageService:
 
     def location_of(self, key: str) -> tuple[str, StorageLevel]:
         with self._lock:
-            if key not in self._locations:
+            owner = self._locations.get(key)
+            if owner is None:
                 raise StorageKeyError(key)
-            return self._locations[key]
+            if owner == REMOTE_OWNER:
+                return (REMOTE_OWNER, StorageLevel.REMOTE)
+            return (owner, self._workers[owner].level_of(key))
 
     def nbytes_of(self, key: str) -> int:
         with self._lock:
-            worker, level = self.location_of(key)
-            backend = self._backend_for(worker, level)
-            return backend.get(key).nbytes
+            owner = self._locations.get(key)
+            if owner is None:
+                raise StorageKeyError(key)
+            if owner == REMOTE_OWNER:
+                return self._remote.get(key).nbytes
+            return self._workers[owner].nbytes_of_local(key)
 
     def delete(self, key: str) -> None:
         with self._lock:
-            location = self._locations.pop(key, None)
-            if location is None:
+            owner = self._locations.pop(key, None)
+            if owner is None:
                 return
-            worker, level = location
-            backend = self._backend_for(worker, level)
-            item = backend.delete(key)
-            if level == StorageLevel.MEMORY:
-                self.cluster.memory[worker].release(item.nbytes)
-                self._lru[worker].pop(key, None)
+            if owner == REMOTE_OWNER:
+                try:
+                    self._remote.delete(key)
+                except KeyError:
+                    pass
+                return
+            self._workers[owner].delete_local(key)
 
-    def _backend_for(self, worker: str, level: StorageLevel) -> StorageBackend:
-        if level == StorageLevel.REMOTE:
-            return self._remote
-        if level == StorageLevel.DISK:
-            return self._disk[worker]
-        return self._memory[worker]
+    # -- counters -----------------------------------------------------------
+    def transferred_bytes(self) -> int:
+        """Bytes that crossed the network (router-charged)."""
+        with self._lock:
+            return self._transferred_bytes
+
+    def spilled_bytes(self) -> int:
+        """LRU spill bytes that bought an admission, across workers."""
+        with self._lock:
+            return sum(unit.spilled_bytes() for unit in self._workers.values())
+
+    def failed_admission_spill_bytes(self) -> int:
+        """Bytes spilled by admissions that still ended out-of-memory."""
+        with self._lock:
+            return sum(unit.failed_admission_spill_bytes()
+                       for unit in self._workers.values())
+
+    def forced_spill_bytes(self) -> int:
+        """Bytes evicted by the OOM ladder's force-spill rung."""
+        with self._lock:
+            return sum(unit.forced_spill_bytes()
+                       for unit in self._workers.values())
 
     def memory_bytes(self, worker: str) -> int:
-        return self._memory[worker].total_bytes()
+        return self._workers[worker].memory_bytes_local()
 
     def disk_bytes(self, worker: str) -> int:
-        return self._disk[worker].total_bytes()
+        return self._workers[worker].disk_bytes_local()
 
     def keys_on(self, worker: str) -> list[str]:
-        return self._memory[worker].keys() + self._disk[worker].keys()
+        return self._workers[worker].keys_local()
 
     def all_keys(self) -> list[str]:
         """Every stored key across workers and tiers (re-tile snapshots)."""
@@ -333,4 +337,6 @@ class StorageService:
         with self._lock:
             for key in list(self._locations):
                 self.delete(key)
-            self._pins.clear()
+            self._pin_routes.clear()
+            for unit in self._workers.values():
+                unit.clear_pins_local()

@@ -135,6 +135,23 @@ class ShuffleManager:
                 self._key_index.pop(key, None)
                 self.storage.delete(key)
 
+    # -- counters (methods, so actor refs can read them) -------------------
+    def shuffle_bytes_total(self) -> int:
+        return self.total_shuffle_bytes
+
+    def gather_scanned_count(self) -> int:
+        return self.gather_scanned
+
+    def gather_fetch_count(self) -> int:
+        return self.gather_fetches
+
+    def reregistered_count(self) -> int:
+        return self.reregistered_partitions
+
+    def index_size(self) -> int:
+        """Partitions currently indexed (0 after a clean run)."""
+        return len(self._key_index)
+
     def live_bytes(self, shuffle_id: str) -> int:
         reducers = self._by_reducer.get(shuffle_id, {})
         return sum(

@@ -102,3 +102,36 @@ class TestRuntimeReports:
             from_frame(local, tight).groupby("k").agg({"v": "sum"}).fetch()
             assert tight.executor.report.admission_wait_time > 0.0
             assert "memory pressure:" in diagnostics.session_summary(tight)
+
+
+class TestServiceReport:
+    def test_service_report_structure(self, session, result):
+        text = diagnostics.service_report(session)
+        assert "service plane:" in text
+        assert "messages delivered:" in text
+        assert "per service:" in text
+        assert "service/storage" in text
+        assert "service/scheduling" in text
+        assert "->" in text  # at least one sender -> recipient edge
+
+    def test_per_subtask_rate(self, session, result):
+        text = diagnostics.service_report(session)
+        n = session.executor.report.n_subtasks
+        assert n > 0
+        assert f"({n} subtasks)" in text
+
+    def test_counts_match_log(self, session, result):
+        # snapshot first: rendering the report itself delivers messages
+        # (the session actor serves the executor/report reads).
+        log = session.cluster.actor_system.log
+        ((sender, recipient), _) = log.top_edges(1)[0]
+        before = log.total_delivered
+        text = diagnostics.service_report(session)
+        assert f"messages delivered:  {before}" in text
+        # the chattiest edge leads the edge listing.
+        assert f"{sender} -> {recipient:24s}" in text
+
+    def test_no_subtasks_no_rate_line(self):
+        with Session(Config()) as fresh:
+            text = diagnostics.service_report(fresh)
+            assert "per subtask" not in text

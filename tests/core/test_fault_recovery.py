@@ -407,7 +407,7 @@ class TestShuffleRecovery:
             chaotic.cluster.faults.on_store(drop_one_partition)
             actual = groupby_shuffle(chaotic)
             assert fired, "workload scheduled no shuffle mappers"
-            assert chaotic.shuffle.reregistered_partitions >= 1
+            assert chaotic.shuffle.reregistered_count() >= 1
             assert chaotic.executor.report.recomputed_subtasks >= 1
         assert_same_result(actual, expected)
 
@@ -450,9 +450,9 @@ class TestShuffleRecovery:
             shuffle = session.shuffle
             session.storage.put("p0", np.arange(4), "worker-0")
             shuffle.register_partition("s1", 0, 0, "p0", "worker-0", 32)
-            assert shuffle.reregistered_partitions == 0
+            assert shuffle.reregistered_count() == 0
             shuffle.register_partition("s1", 0, 0, "p0", "worker-0", 32)
-            assert shuffle.reregistered_partitions == 1
+            assert shuffle.reregistered_count() == 1
             values, _, _ = shuffle.gather("s1", 0, "worker-0")
             assert len(values) == 1  # replaced, not duplicated
 

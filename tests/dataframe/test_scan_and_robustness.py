@@ -128,7 +128,7 @@ class TestFailureRobustness:
             )
             try:
                 out = from_frame(big, session).sort_values("v").fetch()
-                return out, session.storage.total_spilled_bytes
+                return out, session.storage.spilled_bytes()
             finally:
                 session.close()
 

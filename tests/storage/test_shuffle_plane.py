@@ -154,8 +154,8 @@ class TestIndexLifecycle:
                 {"v": "sum"}
             ).fetch()
             assert len(out) == 200
-            assert session.shuffle.total_shuffle_bytes > 0
-            assert session.shuffle.gather_scanned == 0  # executor-side plane
-            assert not session.shuffle._key_index, (
+            assert session.shuffle.shuffle_bytes_total() > 0
+            assert session.shuffle.gather_scanned_count() == 0  # executor-side
+            assert session.shuffle.index_size() == 0, (
                 "shuffle partitions leaked in the index after execution"
             )

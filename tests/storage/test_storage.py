@@ -32,7 +32,7 @@ class TestPutGet:
         service.put("k1", np.arange(100), "worker-0")
         info = service.get("k1", "worker-1")
         assert info.transferred_bytes == info.nbytes > 0
-        assert service.total_transferred_bytes == info.nbytes
+        assert service.transferred_bytes() == info.nbytes
 
     def test_missing_key(self):
         service, _ = make_service()
@@ -77,7 +77,7 @@ class TestSpill:
         service.put("new", a, "worker-0")  # must evict "old"
         assert service.location_of("old") == ("worker-0", StorageLevel.DISK)
         assert service.location_of("new") == ("worker-0", StorageLevel.MEMORY)
-        assert service.total_spilled_bytes >= a.nbytes
+        assert service.spilled_bytes() >= a.nbytes
 
     def test_spilled_read_has_penalty(self):
         service, _ = make_service(memory_limit=2000)
@@ -122,7 +122,7 @@ class TestSpill:
         assert freed == a.nbytes
         assert service.location_of("keep")[1] == StorageLevel.MEMORY
         assert service.location_of("drop")[1] == StorageLevel.DISK
-        assert service.forced_spill_bytes == freed
+        assert service.forced_spill_bytes() == freed
         assert cluster.memory["worker-0"].used == a.nbytes
         service.unpin(["keep"])
 

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Import-graph lint: engine code must respect service boundaries.
+
+The service-plane refactor moved every engine backend (storage tiers,
+meta store, shuffle index, scheduler, memory pressure, lineage) behind
+an owning service actor.  The architectural invariant is that *no
+module outside a service's owner set imports its implementation class*
+— everything else talks to the service through a duck-typed handle
+(plain service object or ``ActorRef``), so the actor plane's message
+log stays a faithful RPC trace.
+
+This script walks ``src/repro`` with ``ast`` and fails (exit 1) on any
+runtime import of a guarded class outside its allowlist.  Imports inside
+``if TYPE_CHECKING:`` blocks are exempt: annotations are not calls.
+
+Run from the repository root (CI runs it next to ruff)::
+
+    python tools/check_service_boundaries.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+#: guarded class -> module paths (relative to src/, ``/``-separated)
+#: allowed to import it at runtime.  A trailing ``/`` means the whole
+#: subtree.  The services package may import everything: it *is* the
+#: deployment layer.  ``repro/core/executor.py`` is the one sanctioned
+#: assembly point outside it — legacy direct constructions of
+#: ``GraphExecutor`` self-assemble plain services there.
+ALLOWED = {
+    # storage backends: the storage package owns its tiers and router.
+    "StorageService": {"repro/storage/", "repro/services/"},
+    "WorkerStorage": {"repro/storage/", "repro/services/"},
+    "ShuffleManager": {"repro/storage/", "repro/services/"},
+    # supervisor-side backends wrapped by service actors.
+    "MetaService": {
+        "repro/core/meta.py", "repro/core/__init__.py", "repro/services/",
+    },
+    "Scheduler": {
+        "repro/core/scheduler.py", "repro/core/__init__.py",
+        "repro/core/executor.py", "repro/services/",
+    },
+    "MemoryPressure": {"repro/core/memory_control.py", "repro/services/"},
+    "RecoveryManager": {"repro/core/recovery.py", "repro/services/"},
+    # the services themselves: constructed by deploy or the executor's
+    # legacy self-assembly, never by client code.
+    "SchedulingService": {"repro/services/", "repro/core/executor.py"},
+    "LifecycleService": {"repro/services/", "repro/core/executor.py"},
+    "SubtaskRunner": {"repro/services/", "repro/core/executor.py"},
+}
+
+
+def _type_checking_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line ranges of ``if TYPE_CHECKING:`` bodies (exempt imports)."""
+    spans = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if is_tc:
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+def _allowed(name: str, rel_path: str) -> bool:
+    for entry in ALLOWED[name]:
+        if entry.endswith("/"):
+            if rel_path.startswith(entry):
+                return True
+        elif rel_path == entry:
+            return True
+    return False
+
+
+def check_file(path: Path) -> list[str]:
+    rel_path = path.relative_to(SRC_ROOT).as_posix()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    exempt = _type_checking_spans(tree)
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if any(lo <= node.lineno <= hi for lo, hi in exempt):
+            continue
+        for alias in node.names:
+            name = alias.name
+            if name in ALLOWED and not _allowed(name, rel_path):
+                violations.append(
+                    f"{path.relative_to(SRC_ROOT.parent)}:{node.lineno}: "
+                    f"{name} may only be imported by "
+                    f"{sorted(ALLOWED[name])}, not {rel_path}"
+                )
+    return violations
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted((SRC_ROOT / "repro").rglob("*.py")):
+        violations.extend(check_file(path))
+    if violations:
+        print("service boundary violations:")
+        for line in violations:
+            print(f"  {line}")
+        return 1
+    count = len(list((SRC_ROOT / 'repro').rglob('*.py')))
+    print(f"service boundaries OK ({count} modules checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
