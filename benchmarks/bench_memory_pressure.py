@@ -24,7 +24,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from harness import format_table, RESULTS_DIR  # noqa: E402
+from harness import format_table, RESULTS_DIR, save_bench_json  # noqa: E402
 
 from repro import frame as pf  # noqa: E402
 from repro.config import default_config  # noqa: E402
@@ -158,8 +158,7 @@ def save_and_render(rows: list[dict], smoke: bool) -> str:
         "fractions": FRACTIONS,
         "rows": rows,
     }
-    with open(RESULT_PATH, "w") as f:
-        json.dump(payload, f, indent=2)
+    save_bench_json("BENCH_memory.json", payload)
 
     table_rows = []
     for row in rows:

@@ -21,7 +21,7 @@ import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from harness import MiB, format_table, RESULTS_DIR  # noqa: E402
+from harness import MiB, format_table, RESULTS_DIR, save_bench_json  # noqa: E402
 
 from repro.config import default_config  # noqa: E402
 from repro.core.session import Session  # noqa: E402
@@ -109,8 +109,7 @@ def save_and_render(rows: list[dict], sf: float) -> str:
         "fault_seed": FAULT_SEED,
         "rows": rows,
     }
-    with open(RESULT_PATH, "w") as f:
-        json.dump(payload, f, indent=2)
+    save_bench_json("BENCH_recovery.json", payload)
 
     table_rows = [
         [row["fault_rate"],

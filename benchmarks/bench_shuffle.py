@@ -29,7 +29,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from harness import format_table, RESULTS_DIR  # noqa: E402
+from harness import format_table, RESULTS_DIR, save_bench_json  # noqa: E402
 
 import numpy as np  # noqa: E402
 
@@ -202,8 +202,7 @@ def save_and_render(rows: list[dict], combine: dict, smoke: bool) -> str:
         "rows": rows,
         "mapper_side_combine": combine,
     }
-    with open(RESULT_PATH, "w") as f:
-        json.dump(payload, f, indent=2)
+    save_bench_json("BENCH_shuffle.json", payload)
 
     by_workload: dict[str, dict[str, dict]] = {}
     for row in rows:

@@ -48,15 +48,29 @@ _pool_lock = threading.Lock()
 _pool: ThreadPoolExecutor | None = None
 
 
-def shared_pool() -> ThreadPoolExecutor:
-    """The lazily-created process-wide band-runner thread pool."""
+def shared_pool(max_workers: int | None = None) -> ThreadPoolExecutor:
+    """The lazily-created process-wide band-runner thread pool.
+
+    ``max_workers`` (``Config.band_runner_threads``; 0/None means the
+    host's CPU count) only ever *grows* the shared pool: dispatch
+    threads mostly wait on kernels — or, in process mode, on IPC — so a
+    cluster asking for more slots than an earlier one is safe, while
+    shrinking under a live dispatcher would deadlock its queued bands.
+    """
     global _pool
+    want = max_workers if max_workers and max_workers > 0 else (
+        os.cpu_count() or 1
+    )
     with _pool_lock:
         if _pool is None:
             _pool = ThreadPoolExecutor(
-                max_workers=max(32, 4 * (os.cpu_count() or 1)),
+                max_workers=want,
                 thread_name_prefix="band-runner",
             )
+        elif want > _pool._max_workers:  # noqa: SLF001
+            # ThreadPoolExecutor spawns threads on demand up to
+            # _max_workers; raising the cap is all a grow needs.
+            _pool._max_workers = want  # noqa: SLF001
         return _pool
 
 
@@ -118,7 +132,7 @@ class BandDispatcher:
 
     def __init__(self, graph: DAG[Subtask], order: list[Subtask],
                  compute: Callable[[Subtask, dict[str, Any]], SubtaskComputation],
-                 fetch: Callable[[str], Any],
+                 fetch: Callable[[list[str]], dict[str, Any]],
                  pool: ThreadPoolExecutor | None = None,
                  gate=None):
         self._graph = graph
@@ -351,8 +365,8 @@ class BandDispatcher:
                     inputs[key] = self._values[key]
                 else:
                     missing.append(key)
-        for key in missing:
-            inputs[key] = self._fetch(key)
+        if missing:
+            inputs.update(self._fetch(missing))
         return inputs
 
     def _complete(self, subtask: Subtask,

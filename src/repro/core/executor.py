@@ -33,6 +33,7 @@ from ..errors import (
     RetriesExhausted,
     StorageKeyError,
     WorkerOutOfMemory,
+    WorkerProcessCrash,
 )
 from ..graph.dag import DAG
 from ..graph.entity import ChunkData
@@ -45,12 +46,16 @@ from .dispatch import BandDispatcher, SubtaskComputation, should_use_parallel
 from .fusion import fusion_groups, singleton_groups
 from .memory_control import worker_of_band
 from .operator import COMBINE_DROPPED_KEY, ExecContext
-from .opfusion import plan_subtask, step_io_keys
+from .opfusion import compile_step, plan_subtask, step_io_keys
 from .scheduler import Scheduler
 
 #: failures the retry loop re-attempts; anything else (kernel bugs, OOM
-#: with spill disabled) propagates unchanged.
-_RETRYABLE = (FaultInjected, ChunkLostError, StorageKeyError)
+#: with spill disabled) propagates unchanged.  A process-pool worker
+#: dying mid-kernel is retryable too: the accounting walk simply re-runs
+#: the (pure, deterministic) kernels inline — same lineage-recovery path
+#: as a lost chunk, and no simulated number observes the crash.
+_RETRYABLE = (FaultInjected, ChunkLostError, StorageKeyError,
+              WorkerProcessCrash)
 
 
 def _lost_keys(exc: BaseException) -> list[str]:
@@ -154,10 +159,11 @@ class GraphExecutor:
             node.key: getattr(node, "terminal", False)
             for node in chunk_graph.nodes()
         })
-        pending = [
-            node for node in chunk_graph.topological_order()
-            if not self.storage.contains(node.key)
-        ]
+        order_nodes = chunk_graph.topological_order()
+        not_stored = set(self.storage.missing_keys(
+            [node.key for node in order_nodes]
+        ))
+        pending = [node for node in order_nodes if node.key in not_stored]
         if not pending:
             return SimReport()
         pending_graph = chunk_graph.subgraph(pending)
@@ -265,10 +271,10 @@ class GraphExecutor:
                 system.set_thread_sender("band-runner")
             return self.runners[subtask.band].compute(subtask, inputs)
 
-        def fetch(key: str) -> Any:
+        def fetch(keys: list[str]) -> dict[str, Any]:
             if system is not None:
                 system.set_thread_sender("band-runner")
-            return self.storage.peek_value(key)
+            return self.storage.peek_values(keys)
 
         dispatcher = BandDispatcher(
             graph, order, compute, fetch,
@@ -344,8 +350,7 @@ class GraphExecutor:
                 end = self._run_guarded(subtask, graph, completion, base_time,
                                         retain, consumers, stage,
                                         computed=computed)
-                self.lifecycle.record(subtask)
-                self.scheduling.note_completed(subtask)
+                self.lifecycle.finish_subtask(subtask)
                 return end
             spec = injector.spec
             ident = (subtask.stage_index, subtask.priority)
@@ -355,8 +360,7 @@ class GraphExecutor:
                 try:
                     if injector.fail_compute(subtask, attempt):
                         raise FaultInjected("compute", subtask.key)
-                    missing = [key for key in subtask.input_keys
-                               if not self.storage.contains(key)]
+                    missing = self.storage.missing_keys(subtask.input_keys)
                     if missing:
                         raise ChunkLostError(missing)
                     end = self._run_guarded(
@@ -381,8 +385,7 @@ class GraphExecutor:
                     if lost:
                         self._recover_lost(lost, base_time, stage)
                     continue
-                self.lifecycle.record(subtask)
-                self.scheduling.note_completed(subtask)
+                self.lifecycle.finish_subtask(subtask)
                 self._inject_post_subtask(subtask, stage)
                 return end
         finally:
@@ -532,7 +535,7 @@ class GraphExecutor:
         after their producing stage finished; sessions call this before
         assembling results so a fetch never dies on a recoverable loss.
         """
-        missing = [key for key in keys if not self.storage.contains(key)]
+        missing = self.storage.missing_keys(keys)
         if not missing:
             return
         stage = SimReport()
@@ -549,14 +552,18 @@ class GraphExecutor:
                      computed: SubtaskComputation | None = None,
                      recovering: bool = False,
                      extra_delay: float = 0.0) -> float:
-        # pin inputs for the whole accounting span: memory admission and
+        # pin + fetch the whole input set in one storage message: the
+        # pins hold for the whole accounting span — memory admission and
         # output spill must never evict what this subtask is reading
-        # (in-flight inputs are not spill victims).
-        self.storage.pin(subtask.input_keys)
+        # (in-flight inputs are not spill victims) — and acquire_many
+        # applies them before any fetch can raise, so the unconditional
+        # unpin below always balances.
+        worker = worker_of_band(subtask.band)
+        infos = self.storage.acquire_many(subtask.input_keys, worker)
         try:
             return self._run_subtask_inner(
                 subtask, graph, completion, base_time, retain, consumers,
-                stage, computed, recovering, extra_delay,
+                stage, computed, recovering, extra_delay, infos,
             )
         finally:
             self.storage.unpin(subtask.input_keys)
@@ -567,7 +574,8 @@ class GraphExecutor:
                            stage: SimReport,
                            computed: SubtaskComputation | None,
                            recovering: bool,
-                           extra_delay: float) -> float:
+                           extra_delay: float,
+                           infos: list[Any]) -> float:
         band = self.cluster.band_by_name(subtask.band)
         worker = band.worker
         tracker = self.cluster.memory[worker]
@@ -593,7 +601,6 @@ class GraphExecutor:
         if graph is not None:
             for pred in graph.predecessors(subtask):
                 ready_time = max(ready_time, completion[pred.key])
-        infos = self.storage.get_many(subtask.input_keys, worker)
         for key, info in zip(subtask.input_keys, infos):
             env[key] = info.value
             sizes[key] = info.nbytes
@@ -645,38 +652,68 @@ class GraphExecutor:
             step_in_bytes = sum(
                 sized(k, env[k]) for k in step_inputs if k in env
             )
-            for chunk in step:
-                op = chunk.op
-                if op is None or id(op) in executed_ops:
-                    continue
-                executed_ops.add(id(op))
+            # compiled fused steps (same structural decision the runners
+            # made): one evaluator call, and only the final result ever
+            # enters the environment — fused intermediates exist solely
+            # as locals of the generated function, so they no longer
+            # inflate the transient working-set peak.
+            compiled = (
+                compile_step(step) if self.config.compiled_fusion else None
+            )
+            if compiled is not None:
+                final_op = compiled.final_op
                 if computed is None:
-                    ctx = ExecContext(env, self.config)
-                    result = op.execute(ctx)
-                    extra_meta = ctx.extra_meta
+                    result = compiled.run(env)
                 else:
-                    result = computed.op_results[id(op)]
-                    extra_meta = computed.op_extra_meta.get(id(op), {})
-                if isinstance(result, dict) and result and all(
-                    k in {o.key for o in op.outputs} for k in result
-                ):
-                    for out_key, value in result.items():
-                        _env_store(out_key, value)
-                else:
-                    _env_store(op.outputs[0].key, result)
+                    result = computed.op_results[id(final_op)]
+                _env_store(compiled.output_key, result)
                 env_peak = max(env_peak, env_bytes)
-                for dep in op.inputs:
-                    remaining_consumers[dep.key] -= 1
-                    if (remaining_consumers[dep.key] <= 0
-                            and dep.key not in output_key_set
-                            and dep.key in env):
-                        env_bytes -= sized(dep.key, env.pop(dep.key))
-                for meta_key, extra in extra_meta.items():
-                    dropped = extra.pop(COMBINE_DROPPED_KEY, 0)
-                    if dropped:
-                        stage.combine_dropped_rows += int(dropped)
-                    if extra:
-                        self._pending_extra.setdefault(meta_key, {}).update(extra)
+                for chunk in step:
+                    op = chunk.op
+                    if op is None or id(op) in executed_ops:
+                        continue
+                    executed_ops.add(id(op))
+                    for dep in op.inputs:
+                        remaining_consumers[dep.key] -= 1
+                        if (remaining_consumers[dep.key] <= 0
+                                and dep.key not in output_key_set
+                                and dep.key in env):
+                            env_bytes -= sized(dep.key, env.pop(dep.key))
+            else:
+                for chunk in step:
+                    op = chunk.op
+                    if op is None or id(op) in executed_ops:
+                        continue
+                    executed_ops.add(id(op))
+                    if computed is None:
+                        ctx = ExecContext(env, self.config)
+                        result = op.execute(ctx)
+                        extra_meta = ctx.extra_meta
+                    else:
+                        result = computed.op_results[id(op)]
+                        extra_meta = computed.op_extra_meta.get(id(op), {})
+                    if isinstance(result, dict) and result and all(
+                        k in {o.key for o in op.outputs} for k in result
+                    ):
+                        for out_key, value in result.items():
+                            _env_store(out_key, value)
+                    else:
+                        _env_store(op.outputs[0].key, result)
+                    env_peak = max(env_peak, env_bytes)
+                    for dep in op.inputs:
+                        remaining_consumers[dep.key] -= 1
+                        if (remaining_consumers[dep.key] <= 0
+                                and dep.key not in output_key_set
+                                and dep.key in env):
+                            env_bytes -= sized(dep.key, env.pop(dep.key))
+                    for meta_key, extra in extra_meta.items():
+                        dropped = extra.pop(COMBINE_DROPPED_KEY, 0)
+                        if dropped:
+                            stage.combine_dropped_rows += int(dropped)
+                        if extra:
+                            self._pending_extra.setdefault(
+                                meta_key, {}
+                            ).update(extra)
             step_out_bytes = sum(
                 sized(k, env[k]) for k in step_outputs if k in env
             )
@@ -708,18 +745,17 @@ class GraphExecutor:
                     raise WorkerOutOfMemory(worker, working_set,
                                             tracker.limit, tracker.used)
         else:
-            # the ledger reserves the *estimated* footprint (what a real
-            # scheduler knows pre-execution), floored by the actual
-            # working set the simulator just measured.
-            request = max(working_set, self.scheduling.estimate(subtask))
-            exclusive = self.scheduling.is_degraded(worker)
+            # one scheduling message folds estimate → degraded-check →
+            # admit; the ledger still reserves the *estimated* footprint
+            # (what a real scheduler knows pre-execution), floored by
+            # the actual working set the simulator just measured.
+            decision, exclusive = self.scheduling.admit_subtask(
+                subtask, worker, working_set, ready_time,
+                tracker.used, tracker.limit,
+                allow_wait=self.config.admission_control,
+            )
             if exclusive:
                 stage.degraded_subtasks += 1
-            decision = self.scheduling.admit(
-                worker, request, ready_time, tracker.used, tracker.limit,
-                allow_wait=self.config.admission_control,
-                exclusive=exclusive,
-            )
             stage.admission_wait_time += decision.wait
             ready_time = decision.start
             # concurrent grants still active at our start count against
@@ -747,22 +783,34 @@ class GraphExecutor:
                 and getattr(c.op, "shuffle_id", None) is not None
                 and len(c.index) >= 2
             }
+        # outputs go out in three batched messages — all puts, then all
+        # shuffle registrations, then all meta records. Each put still
+        # walks the full single-put path in key order (delete-if-exists,
+        # spill-or-raise, pin migration), so storage state after the
+        # batch matches the interleaved per-key calls it replaces.
+        put_entries = []
         for key in subtask.output_keys:
             if key not in env:
                 raise KeyError(f"subtask produced no value for output {key!r}")
-            stored = self.storage.put(key, env[key], worker,
-                                      nbytes=sizes.get(key))
+            put_entries.append((key, env[key], sizes.get(key)))
+        stored_sizes = self.storage.put_many(put_entries, worker)
+        register_entries = []
+        meta_entries = []
+        for (key, value, _), stored in zip(put_entries, stored_sizes):
             chunk = shuffle_chunks.get(key)
             if chunk is not None:
-                self.shuffle.register_partition(
+                register_entries.append((
                     chunk.op.shuffle_id, int(chunk.index[0]),
                     int(chunk.index[1]), key, worker, stored,
-                )
+                ))
             if recovering:
                 stage.recovery_bytes += stored
                 self.scheduling.record_chunk(key, subtask.band)
-            extra = self._pending_extra.pop(key, None)
-            self.meta.set_from_value(key, env[key], extra=extra)
+            meta_entries.append((key, value, self._pending_extra.pop(key, None)))
+        if register_entries:
+            self.shuffle.register_partitions(register_entries)
+        if meta_entries:
+            self.meta.set_from_values(meta_entries)
 
         # -- charge virtual time ---------------------------------------------------
         duration = (
@@ -776,34 +824,29 @@ class GraphExecutor:
         for key in subtask.output_keys:
             self.chunk_ready_at[key] = end
         if decision is not None:
-            # the grant spans the subtask's virtual execution; later
-            # admissions on this worker see it until ``end`` passes.
-            self.scheduling.commit_grant(decision, end)
-            self.scheduling.observe(subtask, sizes)
+            # one scheduling message: the grant is committed to span the
+            # subtask's virtual execution (later admissions on this
+            # worker see it until ``end`` passes), the estimator
+            # observes the measured sizes, and the band-load claim is
+            # released. The lifecycle epilogue — refcount release plus
+            # lineage recording — happens in the retry wrapper, one
+            # message too; recovery re-executions skip both, exactly as
+            # before: the original run already consumed its inputs'
+            # refcounts, and recoveries are never first-class successes.
+            self.scheduling.finish_subtask(decision, end, subtask, sizes)
 
         stage.total_compute_seconds += duration
         stage.total_transfer_bytes += transferred
         self._executed_subtasks += 1
-
-        # -- reference-count cleanup --------------------------------------------------
-        # the lifecycle service owns the stage's consumer refcounts
-        # (installed by ``begin_stage``) and frees through its own
-        # storage/shuffle handles. Recovery re-executions skip this: the
-        # original run already consumed its inputs' refcounts,
-        # decrementing again would free chunks other consumers still need.
-        if not recovering:
-            self.lifecycle.release_consumed(subtask.input_keys)
         return end
 
     # ------------------------------------------------------------------
     def _known_nbytes(self, subtask_graph: DAG[Subtask]) -> dict[str, int]:
-        sizes: dict[str, int] = {}
+        keys: set[str] = set()
         for subtask in subtask_graph.nodes():
-            for key in subtask.input_keys:
-                meta = self.meta.get(key)
-                if meta is not None:
-                    sizes[key] = meta.nbytes
-        return sizes
+            keys.update(subtask.input_keys)
+        metas = self.meta.get_many(sorted(keys))
+        return {key: meta.nbytes for key, meta in metas.items()}
 
     def _count_consumers(self, subtask_graph: DAG[Subtask]) -> dict[str, int]:
         counts: dict[str, int] = defaultdict(int)

@@ -91,15 +91,25 @@ class FootprintEstimator:
 
     # -- prediction -------------------------------------------------------
     def input_bytes(self, subtask: Subtask) -> int:
+        keys = list(subtask.input_keys)
+        if not keys:
+            return 0
+        metas = self.meta.get_many(keys)
         total = 0
-        for key in subtask.input_keys:
-            meta = self.meta.get(key)
+        unknown: list[str] = []
+        for key in keys:
+            meta = metas.get(key)
             if meta is not None and meta.nbytes is not None:
                 total += int(meta.nbytes)
-            elif self.storage.contains(key):
-                total += self.storage.nbytes_of(key)
             else:
-                total += self.config.chunk_store_limit
+                unknown.append(key)
+        if unknown:
+            absent = set(self.storage.missing_keys(unknown))
+            for key in unknown:
+                if key in absent:
+                    total += self.config.chunk_store_limit
+                else:
+                    total += self.storage.nbytes_of(key)
         return total
 
     def output_bytes(self, subtask: Subtask) -> int:

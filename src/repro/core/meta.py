@@ -79,9 +79,25 @@ class MetaService:
             self._metas[key] = meta
         return meta
 
+    def set_from_values(self, entries) -> None:
+        """Batched :meth:`set_from_value`: ``(key, value, extra)`` tuples.
+
+        One message records a subtask's whole output set.
+        """
+        with self._lock:
+            for key, value, extra in entries:
+                self._metas[key] = meta_from_value(value, extra=extra)
+
     def get(self, key: str) -> Optional[ChunkMeta]:
         with self._lock:
             return self._metas.get(key)
+
+    def get_many(self, keys) -> dict[str, ChunkMeta]:
+        """Batched :meth:`get`: only keys with recorded meta appear."""
+        with self._lock:
+            return {
+                key: self._metas[key] for key in keys if key in self._metas
+            }
 
     def require(self, key: str) -> ChunkMeta:
         meta = self.get(key)

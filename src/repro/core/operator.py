@@ -75,6 +75,25 @@ class TileContext:
     def chunk_meta(self, chunk: ChunkData) -> Optional[ChunkMeta]:
         return self.meta.get(chunk.key)
 
+    def chunk_metas(self, chunks: Sequence[ChunkData]) -> list[Optional[ChunkMeta]]:
+        """Batched :meth:`chunk_meta`: one meta round-trip per chunk list.
+
+        Tiling helpers loop over whole chunk lists; fetching metas one
+        message at a time dominated the actor plane's tiling traffic.
+        """
+        if not chunks:
+            return []
+        metas = self.meta.get_many([chunk.key for chunk in chunks])
+        return [metas.get(chunk.key) for chunk in chunks]
+
+    def chunk_nbytes_many(self, chunks: Sequence[ChunkData],
+                          default: int = 0) -> list[int]:
+        """Batched :meth:`chunk_nbytes` over a chunk list."""
+        return [
+            meta.nbytes if meta is not None else default
+            for meta in self.chunk_metas(chunks)
+        ]
+
     def chunk_nbytes(self, chunk: ChunkData, default: int = 0) -> int:
         meta = self.meta.get(chunk.key)
         return meta.nbytes if meta is not None else default
@@ -131,6 +150,13 @@ class Operator:
     is_lightweight = False
     #: elementwise ops are candidates for operator-level fusion.
     is_elementwise = False
+    #: compiled-fusion protocol (``core.opfusion.compile_step``): ``None``
+    #: declines codegen (the fused step is interpreted op-by-op); the
+    #: string ``"call"`` emits ``op.func(*input_exprs)``; any other string
+    #: is a Python expression template formatted with the op's input
+    #: variables, e.g. ``"{0}[{1}]"`` for boolean-mask filtering. Ops that
+    #: annotate ``ExecContext.extra_meta`` must decline.
+    fuse_expr: str | None = None
 
     def __init__(self, **params: Any):
         self.params = params

@@ -63,6 +63,104 @@ def plan_subtask(subtask: Subtask, enable: bool) -> list[list[ChunkData]]:
     return steps
 
 
+class CompiledStep:
+    """A fused step compiled into one generated evaluator.
+
+    ``run(env)`` makes a single pass: external inputs are read from the
+    subtask environment once, every intermediate lives only as a local
+    variable of the generated function, and exactly one value — the
+    step's final output — comes back. That is the numexpr-style saving
+    of Section V-A made literal: fused intermediates never exist as
+    chunk values at all.
+    """
+
+    __slots__ = ("fn", "funcs", "input_keys", "output_key", "final_op")
+
+    def __init__(self, fn, funcs, input_keys, output_key, final_op):
+        self.fn = fn
+        self.funcs = funcs
+        self.input_keys = input_keys
+        self.output_key = output_key
+        self.final_op = final_op
+
+    def run(self, env: dict) -> object:
+        return self.fn(*[env[key] for key in self.input_keys], *self.funcs)
+
+
+#: generated source -> compiled function. Steps with the same structural
+#: shape (op templates and argument wiring) share one code object; the
+#: per-step closures (op callables, input keys) stay outside the cache.
+_CODE_CACHE: dict[str, object] = {}
+
+
+def compile_step(step: list[ChunkData]) -> CompiledStep | None:
+    """Compile a fused step into a :class:`CompiledStep`, or decline.
+
+    Eligible steps have at least two chained single-output ops, each
+    providing the ``fuse_expr`` protocol (see
+    :attr:`~repro.core.operator.Operator.fuse_expr`), converging on one
+    final output. Anything else returns ``None`` and the caller
+    interprets the step op-by-op. The decision depends only on the
+    step's structure, so the serial walk, band-runner threads and pool
+    worker processes all compile (or decline) identically.
+    """
+    if len(step) < 2:
+        return None
+    produced: dict[str, int] = {}
+    for position, chunk in enumerate(step):
+        op = chunk.op
+        if op is None or op.fuse_expr is None:
+            return None
+        if len(op.outputs) != 1 or op.outputs[0].key != chunk.key:
+            return None
+        if chunk.key in produced:
+            return None
+        produced[chunk.key] = position
+    _, outputs = step_io_keys(step)
+    if outputs != {step[-1].key}:
+        return None
+
+    input_keys: list[str] = []
+    var_of: dict[str, str] = {}
+    funcs: list = []
+    lines: list[str] = []
+    for position, chunk in enumerate(step):
+        op = chunk.op
+        args = []
+        for dep in op.inputs:
+            var = var_of.get(dep.key)
+            if var is None:
+                var = f"x{len(input_keys)}"
+                var_of[dep.key] = var
+                input_keys.append(dep.key)
+            args.append(var)
+        if op.fuse_expr == "call":
+            func = getattr(op, "func", None)
+            if not callable(func):
+                return None
+            expr = f"f{len(funcs)}({', '.join(args)})"
+            funcs.append(func)
+        else:
+            try:
+                expr = op.fuse_expr.format(*args)
+            except (IndexError, KeyError):
+                return None
+        target = f"t{position}"
+        var_of[chunk.key] = target
+        lines.append(f"    {target} = {expr}")
+    params = [var_of[key] for key in input_keys]
+    params += [f"f{i}" for i in range(len(funcs))]
+    source = "def _fused({}):\n{}\n    return t{}\n".format(
+        ", ".join(params), "\n".join(lines), len(step) - 1
+    )
+    fn = _CODE_CACHE.get(source)
+    if fn is None:
+        namespace: dict[str, object] = {}
+        exec(compile(source, "<opfusion>", "exec"), namespace)  # noqa: S102
+        fn = _CODE_CACHE[source] = namespace["_fused"]
+    return CompiledStep(fn, funcs, input_keys, step[-1].key, step[-1].op)
+
+
 def step_io_keys(step: list[ChunkData]) -> tuple[set[str], set[str]]:
     """External input keys and final output keys of one fused step.
 

@@ -251,9 +251,8 @@ class SessionActor(Actor):
         return assemble(tileable.kind, values)
 
     def is_materialized(self, tileable: TileableData) -> bool:
-        return tileable.is_tiled and all(
-            self.services.storage.contains(chunk.key)
-            for chunk in tileable.chunks
+        return tileable.is_tiled and not self.services.storage.missing_keys(
+            [chunk.key for chunk in tileable.chunks]
         )
 
     def free_tileable(self, tileable: TileableData) -> None:

@@ -12,7 +12,7 @@ from typing import Callable, Optional
 
 from ..core.operator import ExecContext, Operator, TileContext
 from ..graph.entity import TileableData
-from .utils import align_rows, chunk_index, nsplits_from_chunks, row_count
+from .utils import align_rows, chunk_index, nsplits_from_chunks, row_counts
 
 
 class Elementwise(Operator):
@@ -70,9 +70,10 @@ class Elementwise(Operator):
         n = len(aligned[0])
         out_chunks = []
         n_cols = len(self.out_columns) if self.out_columns is not None else None
+        first_rows = row_counts(ctx, aligned[0])
         for i in range(n):
             ins = [chunks[i] for chunks in aligned]
-            rows = row_count(ctx, ins[0])
+            rows = first_rows[i]
             shape = (rows, n_cols) if self.out_kind == "dataframe" else (rows,)
             chunk_op = ElementwiseChunk(func=self.func)
             out_chunks.append(chunk_op.new_chunk(
@@ -86,6 +87,7 @@ class Elementwise(Operator):
 
 class ElementwiseChunk(Operator):
     is_elementwise = True
+    fuse_expr = "call"
 
     def __init__(self, func: Callable, **params):
         super().__init__(**params)
@@ -127,8 +129,9 @@ class MapPartitions(Operator):
         chunks = list(self.inputs[0].chunks)
         out_chunks = []
         n_cols = len(self.out_columns) if self.out_columns is not None else None
+        in_rows = row_counts(ctx, chunks) if self.keeps_rows else None
         for i, chunk in enumerate(chunks):
-            rows = row_count(ctx, chunk) if self.keeps_rows else None
+            rows = in_rows[i] if in_rows is not None else None
             shape = (rows, n_cols) if self.out_kind == "dataframe" else (rows,)
             chunk_op = MapPartitionsChunk(func=self.func)
             out_chunks.append(chunk_op.new_chunk(

@@ -184,7 +184,7 @@ class GroupByAgg(Operator):
         if ctx.config.dynamic_tiling and len(map_chunks) > 1:
             sample = spread_sample(map_chunks, ctx.config.sample_chunks)
             yield sample
-            sampled_bytes = [ctx.chunk_nbytes(c, default=0) for c in sample]
+            sampled_bytes = ctx.chunk_nbytes_many(sample, default=0)
             mean_bytes = sum(sampled_bytes) / max(len(sampled_bytes), 1)
             est_total = mean_bytes * len(map_chunks)
             if est_total > ctx.config.tree_reduce_threshold:

@@ -69,6 +69,7 @@ class Filter(Operator):
 
 class FilterChunk(Operator):
     is_elementwise = True
+    fuse_expr = "{0}[{1}]"
 
     def execute(self, ctx: ExecContext):
         data = ctx.get(self.inputs[0].key)

@@ -33,7 +33,7 @@ from .utils import ConcatChunks, chunk_index, nsplits_from_chunks, spread_sample
 
 def _estimate_total(ctx: TileContext, chunks: list[ChunkData]) -> float:
     """Estimated total bytes of a side from whatever metadata exists."""
-    known = [ctx.chunk_nbytes(c, default=-1) for c in chunks]
+    known = ctx.chunk_nbytes_many(chunks, default=-1)
     observed = [n for n in known if n >= 0]
     if not observed:
         return float("inf")
@@ -79,7 +79,8 @@ class Merge(Operator):
         if ctx.config.dynamic_tiling:
             sample = (left_chunks[: ctx.config.sample_chunks]
                       + right_chunks[: ctx.config.sample_chunks])
-            pending = [c for c in sample if ctx.chunk_meta(c) is None]
+            pending = [c for c, meta in zip(sample, ctx.chunk_metas(sample))
+                       if meta is None]
             if pending:
                 yield pending
             left_est = _estimate_total(ctx, left_chunks)

@@ -13,7 +13,7 @@ import numpy as np
 
 from ..core.operator import ExecContext, Operator, TileContext
 from ..frame import Series
-from .utils import chunk_index, nsplits_from_chunks, row_count
+from .utils import chunk_index, nsplits_from_chunks, row_count, row_counts
 
 _SCANS = {
     "cumsum": (lambda s: s.sum(), lambda s: s.cumsum(), 0.0),
@@ -55,10 +55,11 @@ class CumScan(Operator):
         offsets_op = CumScanOffsets(how=self.how)
         offsets = offsets_op.new_chunk(partials, "scalar", (), ())
         out_chunks = []
+        in_rows = row_counts(ctx, chunks)
         for i, chunk in enumerate(chunks):
             op = CumScanApply(how=self.how, position=i)
             out_chunks.append(op.new_chunk(
-                [chunk, offsets], "series", (row_count(ctx, chunk),),
+                [chunk, offsets], "series", (in_rows[i],),
                 chunk_index("series", i), name=name,
             ))
         return [(out_chunks, nsplits_from_chunks(ctx, out_chunks, "series"))]

@@ -33,9 +33,9 @@ def chunk_index(kind: str, i: int) -> tuple:
     return (i, 0) if kind == "dataframe" else (i,)
 
 
-def row_count(ctx: TileContext, chunk: ChunkData) -> Optional[int]:
-    """Known row count of a chunk (meta first, declared shape second)."""
-    meta = ctx.meta.get(chunk.key)
+def _rows_of(meta, chunk: ChunkData) -> Optional[int]:
+    """Row count from a (possibly absent) meta, falling back to the
+    chunk's declared shape."""
     if meta is not None and meta.shape:
         return int(meta.shape[0])
     if chunk.shape and chunk.shape[0] is not None:
@@ -43,14 +43,24 @@ def row_count(ctx: TileContext, chunk: ChunkData) -> Optional[int]:
     return None
 
 
+def row_count(ctx: TileContext, chunk: ChunkData) -> Optional[int]:
+    """Known row count of a chunk (meta first, declared shape second)."""
+    return _rows_of(ctx.meta.get(chunk.key), chunk)
+
+
+def row_counts(ctx: TileContext,
+               chunks: Sequence[ChunkData]) -> list[Optional[int]]:
+    """Known row counts for a chunk list — one meta round-trip, not one
+    per chunk."""
+    metas = ctx.chunk_metas(chunks)
+    return [_rows_of(meta, chunk) for meta, chunk in zip(metas, chunks)]
+
+
 def known_splits(ctx: TileContext, chunks: Sequence[ChunkData]) -> Optional[list[int]]:
     """Row counts of every chunk, or None if any is unknown."""
-    sizes = []
-    for chunk in chunks:
-        n = row_count(ctx, chunk)
-        if n is None:
-            return None
-        sizes.append(n)
+    sizes = row_counts(ctx, chunks)
+    if any(n is None for n in sizes):
+        return None
     return sizes
 
 
@@ -86,7 +96,7 @@ def auto_merge_chunks(ctx: TileContext, chunks: list[ChunkData],
     if not ctx.config.auto_merge or len(chunks) <= 1:
         return list(chunks)
     limit = ctx.config.chunk_store_limit
-    sizes = [ctx.chunk_nbytes(c, default=-1) for c in chunks]
+    sizes = ctx.chunk_nbytes_many(chunks, default=-1)
     if any(s < 0 for s in sizes):
         return list(chunks)
 
@@ -153,8 +163,8 @@ def align_rows(ctx: TileContext, chunk_lists: list[list[ChunkData]],
         raise TilingError(
             "cannot align differently-partitioned inputs without dynamic tiling"
         )
-    pending = [c for chunks in chunk_lists for c in chunks
-               if row_count(ctx, c) is None]
+    flat = [c for chunks in chunk_lists for c in chunks]
+    pending = [c for c, n in zip(flat, row_counts(ctx, flat)) if n is None]
     if pending:
         yield pending
     splits = [known_splits(ctx, chunks) for chunks in chunk_lists]
@@ -224,7 +234,7 @@ def _sliced_shape(chunk: ChunkData, rows: int) -> tuple:
 def nsplits_from_chunks(ctx: TileContext, chunks: Sequence[ChunkData],
                         kind: str, n_cols: Optional[int] = None) -> tuple:
     """Build the output ``nsplits`` tuple from (possibly unknown) chunks."""
-    rows = tuple(row_count(ctx, c) for c in chunks)
+    rows = tuple(row_counts(ctx, chunks))
     if kind == "dataframe":
         return (rows, (n_cols,))
     return (rows,)

@@ -146,6 +146,20 @@ def pressure_report(session: Session) -> str:
     return "\n".join(lines)
 
 
+def messages_per_subtask(session: Session) -> float:
+    """Actor messages delivered per executed subtask (0.0 before any run).
+
+    The scalar the RPC-batching work targets: every point shaved off
+    this number is one fewer supervisor round-trip per subtask on a real
+    cluster's data plane.
+    """
+    n_subtasks = session.executor.report.n_subtasks
+    if not n_subtasks:
+        return 0.0
+    snapshot = session.cluster.actor_system.log.snapshot()
+    return snapshot["total_delivered"] / n_subtasks
+
+
 def service_report(session: Session, top: int = 8) -> str:
     """The actor plane's RPC trace, summarized per service.
 

@@ -94,6 +94,23 @@ class ChunkLostError(ReproError):
         )
 
 
+class WorkerProcessCrash(ReproError):
+    """A process-pool worker died while computing a subtask.
+
+    Retryable: the subtask's inputs still sit in driver-side storage, so
+    the accounting walk simply re-runs the kernels inline (and lineage
+    recovery restores anything a larger failure took), exactly like any
+    other compute-phase fault. The pool is rebuilt behind the scenes.
+    """
+
+    def __init__(self, band: str, detail: str = ""):
+        self.band = band
+        super().__init__(
+            f"worker process died while computing on band {band!r}"
+            + (f": {detail}" if detail else "")
+        )
+
+
 class UnrecoverableChunkLoss(ReproError):
     """A lost chunk has no recorded lineage, so it cannot be recomputed."""
 

@@ -88,10 +88,14 @@ def deploy_services(cluster: ClusterState, config: Config) -> ServiceHandles:
         LifecycleService(storage, shuffle, config), uid=LIFECYCLE_UID,
     )
 
+    procpool = (
+        cluster.procpool_client() if config.execution_mode == "process"
+        else None
+    )
     runners = {
         band.name: system.create_actor(
             band.worker, SubtaskRunnerActor,
-            SubtaskRunner(band.name, storage, config),
+            SubtaskRunner(band.name, storage, config, procpool=procpool),
             uid=runner_uid(band.name),
         )
         for band in cluster.bands

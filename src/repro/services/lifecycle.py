@@ -58,10 +58,24 @@ class LifecycleService:
             self._consumers[key] -= 1
             if self._consumers[key] <= 0 and key not in self._retain:
                 if eager or not self._terminal.get(key, False):
-                    self._storage.delete(key)
-                    if self._shuffle is not None:
-                        self._shuffle.forget_key(key)
                     freed.append(key)
+        # frees go out batched, but still storage first then shuffle —
+        # the LIFECYCLE -> STORAGE / -> SHUFFLE trace edges survive.
+        if freed:
+            self._storage.delete_many(freed)
+            if self._shuffle is not None:
+                self._shuffle.forget_keys(freed)
+        return freed
+
+    def finish_subtask(self, subtask) -> list[str]:
+        """One message for a subtask's whole lifecycle epilogue.
+
+        Releases the consumer refcounts its inputs held (freeing what
+        dropped to zero) and records its lineage; returns the freed
+        keys.
+        """
+        freed = self.release_consumed(subtask.input_keys)
+        self._recovery.record(subtask)
         return freed
 
     # -- lineage -----------------------------------------------------------
@@ -88,6 +102,7 @@ class LifecycleActor(ServiceActor):
         "is_terminal",
         "begin_stage",
         "release_consumed",
+        "finish_subtask",
         "record",
         "producer_of",
         "plan",

@@ -11,7 +11,9 @@ class MetaActor(ServiceActor):
     service_methods = frozenset({
         "set",
         "set_from_value",
+        "set_from_values",
         "get",
+        "get_many",
         "require",
         "has",
         "update_extra",

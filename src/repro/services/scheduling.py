@@ -73,6 +73,36 @@ class SchedulingService:
     def observe(self, subtask, sizes) -> None:
         self._pressure.estimator.observe(subtask, sizes)
 
+    # -- per-subtask composites --------------------------------------------
+    def admit_subtask(self, subtask, worker: str, working_set: int,
+                      ready_time: float, used: int, limit: int,
+                      allow_wait: bool = True):
+        """One message for the executor's whole admission round-trip.
+
+        Folds estimate → degraded-check → admit into a single call;
+        returns ``(decision, exclusive)``.  The ledger request is the
+        estimated footprint floored by the measured working set, exactly
+        as the three separate calls computed it.
+        """
+        request = max(working_set, self._pressure.estimator.estimate(subtask))
+        exclusive = self._pressure.is_degraded(worker)
+        decision = self._pressure.admission.admit(
+            worker, request, ready_time, used, limit,
+            allow_wait=allow_wait, exclusive=exclusive,
+        )
+        return decision, exclusive
+
+    def finish_subtask(self, decision, end: float, subtask, sizes) -> None:
+        """One message for the post-subtask scheduling epilogue.
+
+        Commits the admission grant through ``end``, feeds the measured
+        sizes to the footprint estimator, and releases the subtask's
+        band-load claim — the same three calls, same order, one message.
+        """
+        self._pressure.admission.commit(decision, end)
+        self._pressure.estimator.observe(subtask, sizes)
+        self._scheduler.note_completed(subtask)
+
     # -- pressure state ----------------------------------------------------
     def is_degraded(self, worker: str) -> bool:
         return self._pressure.is_degraded(worker)
@@ -107,6 +137,8 @@ class SchedulingActor(ServiceActor):
         "forget_chunk",
         "begin_stage",
         "admit",
+        "admit_subtask",
+        "finish_subtask",
         "commit_grant",
         "estimate",
         "observe",

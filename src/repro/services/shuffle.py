@@ -15,10 +15,12 @@ class ShuffleActor(ServiceActor):
 
     service_methods = frozenset({
         "register_partition",
+        "register_partitions",
         "write_partition",
         "mapper_count",
         "gather",
         "forget_key",
+        "forget_keys",
         "cleanup",
         "live_bytes",
         "shuffle_bytes_total",

@@ -15,6 +15,7 @@ class StorageActor(ServiceActor):
         "ensure_free_local",
         "force_spill_local",
         "get_local",
+        "get_local_many",
         "value_of",
         "level_of",
         "nbytes_of_local",
@@ -42,20 +43,25 @@ class StorageManagerActor(ServiceActor):
 
     service_methods = frozenset({
         "put",
+        "put_many",
         "ensure_free",
         "force_spill",
         "get",
         "get_many",
+        "acquire_many",
         "peek",
         "peek_value",
+        "peek_values",
         "pin",
         "unpin",
         "is_pinned",
         "pinned_keys",
         "contains",
+        "missing_keys",
         "location_of",
         "nbytes_of",
         "delete",
+        "delete_many",
         "transferred_bytes",
         "spilled_bytes",
         "failed_admission_spill_bytes",

@@ -154,7 +154,54 @@ class StorageService:
         per-key lock round-trips without changing any charged number.
         """
         with self._lock:
-            return [self._get_locked(key, requesting_worker) for key in keys]
+            return self._get_many_locked(list(keys), requesting_worker)
+
+    def _get_many_locked(self, keys: list[str],
+                         requesting_worker: str) -> list[AccessInfo]:
+        """Grouped fetch: consecutive same-owner keys become one unit call.
+
+        Runs are *consecutive* on purpose: per-key charging order, the
+        owner's LRU touch order, and the exact position a missing key
+        raises at all match the per-key loop this replaces — only the
+        number of worker-unit messages changes.
+        """
+        infos: list[AccessInfo] = []
+        penalty = self.config.cost_model.disk_penalty
+        i, n = 0, len(keys)
+        while i < n:
+            owner = self._locations.get(keys[i])
+            if owner is None or owner == REMOTE_OWNER:
+                infos.append(self._get_locked(keys[i], requesting_worker))
+                i += 1
+                continue
+            j = i + 1
+            while j < n and self._locations.get(keys[j]) == owner:
+                j += 1
+            run = keys[i:j]
+            for key, (value, nbytes, level) in zip(
+                run, self._workers[owner].get_local_many(run)
+            ):
+                transferred = nbytes if owner != requesting_worker else 0
+                self._transferred_bytes += transferred
+                infos.append(AccessInfo(
+                    value, nbytes, transferred_bytes=transferred,
+                    tier_penalty=(penalty if level == StorageLevel.DISK
+                                  else 1.0),
+                    source_worker=owner,
+                ))
+            i = j
+        return infos
+
+    def acquire_many(self, keys, requesting_worker: str) -> list[AccessInfo]:
+        """Pin + fetch a subtask's whole input set in one critical section.
+
+        Pins land first — before any fetch can raise — so the caller's
+        unconditional ``finally: unpin(keys)`` always balances, exactly
+        as the separate pin-then-get calls it replaces did.
+        """
+        with self._lock:
+            self.pin(keys)
+            return self._get_many_locked(list(keys), requesting_worker)
 
     def _get_locked(self, key: str, requesting_worker: str,
                     touch_lru: bool = True) -> AccessInfo:
@@ -198,12 +245,24 @@ class StorageService:
         in deterministic order.
         """
         with self._lock:
-            owner = self._locations.get(key)
-            if owner is None:
-                raise StorageKeyError(key)
-            if owner == REMOTE_OWNER:
-                return self._remote.get(key).value
-            return self._workers[owner].value_of(key)
+            return self._peek_value_locked(key)
+
+    def _peek_value_locked(self, key: str) -> Any:
+        owner = self._locations.get(key)
+        if owner is None:
+            raise StorageKeyError(key)
+        if owner == REMOTE_OWNER:
+            return self._remote.get(key).value
+        return self._workers[owner].value_of(key)
+
+    def peek_values(self, keys) -> dict[str, Any]:
+        """Batched :meth:`peek_value`: one message for a whole input set.
+
+        The band runners' compute phase gathers every stage-external
+        input through this — accounting-free, LRU-untouched.
+        """
+        with self._lock:
+            return {key: self._peek_value_locked(key) for key in keys}
 
     # -- pinning ------------------------------------------------------------
     def pin(self, keys) -> None:
@@ -214,16 +273,22 @@ class StorageService:
         the matching unpin reaches the same worker.
         """
         with self._lock:
+            by_worker: dict[str, list[str]] = {}
             for key in keys:
                 owner = self._locations.get(key)
                 worker = owner if owner else None
                 if worker is not None:
-                    self._workers[worker].pin_local([key])
+                    by_worker.setdefault(worker, []).append(key)
                 self._pin_routes.setdefault(key, []).append(worker)
+            # pins are counters, so one grouped message per owner worker
+            # is state-identical to the per-key calls it replaces.
+            for worker, worker_keys in by_worker.items():
+                self._workers[worker].pin_local(worker_keys)
 
     def unpin(self, keys) -> None:
         """Release one pin level on each of ``keys``."""
         with self._lock:
+            by_worker: dict[str, list[str]] = {}
             for key in keys:
                 routes = self._pin_routes.get(key)
                 if not routes:
@@ -232,7 +297,9 @@ class StorageService:
                 if not routes:
                     del self._pin_routes[key]
                 if worker is not None:
-                    self._workers[worker].unpin_local([key])
+                    by_worker.setdefault(worker, []).append(key)
+            for worker, worker_keys in by_worker.items():
+                self._workers[worker].unpin_local(worker_keys)
 
     def _migrate_pins(self, key: str, new_worker: str | None) -> None:
         """Re-route ``key``'s outstanding pins after a (re-)put.
@@ -264,6 +331,35 @@ class StorageService:
     # -- bookkeeping --------------------------------------------------------
     def contains(self, key: str) -> bool:
         return key in self._locations
+
+    def missing_keys(self, keys) -> list[str]:
+        """The subset of ``keys`` not stored anywhere, in input order.
+
+        One message where the pending-scan / fault pre-check loops used
+        to send one ``contains`` per key.
+        """
+        with self._lock:
+            return [key for key in keys if key not in self._locations]
+
+    def put_many(self, entries, worker: str) -> list[int]:
+        """Batched :meth:`put`: ``entries`` is ``(key, value, nbytes)``.
+
+        One message stores a subtask's whole output set; each entry goes
+        through the same put path (delete-if-exists, spill-or-raise, pin
+        migration) in order, so worker state after the batch is exactly
+        what the per-key puts would leave.
+        """
+        with self._lock:
+            return [
+                self.put(key, value, worker, nbytes=nbytes)
+                for key, value, nbytes in entries
+            ]
+
+    def delete_many(self, keys) -> None:
+        """Batched :meth:`delete` (refcount frees arrive in bulk)."""
+        with self._lock:
+            for key in keys:
+                self.delete(key)
 
     def location_of(self, key: str) -> tuple[str, StorageLevel]:
         with self._lock:

@@ -68,6 +68,18 @@ class ShuffleManager:
         self._key_index[key] = (shuffle_id, reducer)
         self.total_shuffle_bytes += nbytes
 
+    def register_partitions(self, entries) -> None:
+        """Batched :meth:`register_partition`.
+
+        ``entries`` is ``(shuffle_id, mapper, reducer, key, worker,
+        nbytes)`` tuples — a subtask's shuffle-map outputs index in one
+        message.
+        """
+        for shuffle_id, mapper, reducer, key, worker, nbytes in entries:
+            self.register_partition(
+                shuffle_id, mapper, reducer, key, worker, nbytes
+            )
+
     def write_partition(self, shuffle_id: str, mapper: int, reducer: int,
                         data: Any, worker: str) -> int:
         """A mapper stores the slice of its output addressed to ``reducer``."""
@@ -123,6 +135,11 @@ class ShuffleManager:
         parts = reducers.get(reducer)
         if parts:
             reducers[reducer] = [p for p in parts if p[1] != key]
+
+    def forget_keys(self, keys) -> None:
+        """Batched :meth:`forget_key` (refcount frees arrive in bulk)."""
+        for key in keys:
+            self.forget_key(key)
 
     def cleanup(self, shuffle_id: str) -> None:
         """Delete every partition of a finished shuffle."""

@@ -131,6 +131,14 @@ class WorkerStorage:
             raise StorageKeyError(key) from None
         return item.value, item.nbytes, StorageLevel.DISK
 
+    def get_local_many(self, keys) -> list[tuple[Any, int, StorageLevel]]:
+        """Batched :meth:`get_local`: one message per owner-run of keys.
+
+        LRU touches happen in key order, matching the per-key calls the
+        router's grouped ``get_many`` replaces.
+        """
+        return [self.get_local(key) for key in keys]
+
     def value_of(self, key: str) -> Any:
         """Accounting-free read: no LRU touch, no transfer charge."""
         return self.get_local(key, touch_lru=False)[0]

@@ -50,6 +50,7 @@ class TensorElementwise(Operator):
 
 class TensorElementwiseChunk(Operator):
     is_elementwise = True
+    fuse_expr = "call"
 
     def __init__(self, func: Callable, **params):
         super().__init__(**params)

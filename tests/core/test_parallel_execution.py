@@ -279,7 +279,7 @@ class TestDispatcherInternals:
             graph.add_node(subtask)
             order.append(subtask)
         dispatcher = BandDispatcher(
-            graph, order, compute, fetch=lambda key: None,
+            graph, order, compute, fetch=lambda keys: {},
         )
         dispatcher.start()
         try:
