@@ -48,6 +48,10 @@ class SimReport:
     pressure_splits: int = 0
     #: bytes force-spilled by the OOM ladder's first rung.
     forced_spill_bytes: int = 0
+    #: chunks pruned from the graph by a result-cache hit.
+    cache_hit_chunks: int = 0
+    #: stored bytes those cache hits reused instead of recomputing.
+    cache_reused_bytes: int = 0
     peak_memory: dict[str, int] = field(default_factory=dict)
     band_busy: dict[str, float] = field(default_factory=dict)
 
@@ -76,6 +80,8 @@ class SimReport:
         self.degraded_subtasks += other.degraded_subtasks
         self.pressure_splits += other.pressure_splits
         self.forced_spill_bytes += other.forced_spill_bytes
+        self.cache_hit_chunks += other.cache_hit_chunks
+        self.cache_reused_bytes += other.cache_reused_bytes
         for worker, peak in other.peak_memory.items():
             self.peak_memory[worker] = max(self.peak_memory.get(worker, 0), peak)
         for band, busy in other.band_busy.items():

@@ -196,6 +196,22 @@ class Config:
     #: re-tile after the executor's OOM ladder is exhausted.
     pressure_retile_limit: int = 3
 
+    # --- result cache -------------------------------------------------------
+    #: content-addressed result cache: subtasks whose structural identity
+    #: (operator chain + parameters + source fingerprints) already has a
+    #: live stored result are pruned from the execution graph and their
+    #: consumers rewired to the cached chunks. Off by default — the
+    #: golden scenarios pin the uncached engine bit-for-bit.
+    result_cache: bool = False
+    #: with the cache on, record *every* terminal chunk (automatic
+    #: cross-run reuse); off records only tileables that called
+    #: ``.cache()`` explicitly. Lookups always run while the cache is on.
+    result_cache_auto: bool = True
+    #: byte budget for auto-cached results; the least-recently-hit
+    #: entries are dropped (and their chunks freed) when recording past
+    #: it. Explicit ``.cache()`` entries never count as eviction victims.
+    result_cache_budget: int = 256 * MiB
+
     # --- cluster & costs ----------------------------------------------------
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     cost_model: CostModel = field(default_factory=CostModel)

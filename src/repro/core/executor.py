@@ -37,7 +37,9 @@ from ..errors import (
 )
 from ..graph.dag import DAG
 from ..graph.entity import ChunkData
+from ..graph.identity import compute_chunk_identities
 from ..graph.subtask import Subtask, build_subtask_graph
+from ..services.cache import ResultCacheService
 from ..services.lifecycle import LifecycleService
 from ..services.runner import SubtaskRunner
 from ..services.scheduling import SchedulingService
@@ -75,6 +77,7 @@ class GraphExecutor:
                  scheduler: Any = None,
                  shuffle: Any = None,
                  lifecycle: Any = None,
+                 cache: Any = None,
                  runners: dict[str, Any] | None = None):
         """``storage``/``meta``/``scheduler``/``shuffle``/``lifecycle``
         are *service handles*: plain service objects (legacy direct
@@ -97,10 +100,15 @@ class GraphExecutor:
             )
         else:
             self.scheduling = scheduler
+        #: the result cache: structural identity -> stored chunk key.
+        self.cache = (
+            cache if cache is not None
+            else ResultCacheService(storage, config)
+        )
         #: the lifecycle service: chunk refcounts, terminal flags, lineage.
         self.lifecycle = (
             lifecycle if lifecycle is not None
-            else LifecycleService(storage, shuffle, config)
+            else LifecycleService(storage, shuffle, config, cache=self.cache)
         )
         #: band name -> subtask runner handle (the compute phase). Legacy
         #: constructions get plain in-process runners.
@@ -125,6 +133,17 @@ class GraphExecutor:
         #: set it so dynamic-tiling yield executions use the same mode as
         #: the final pass.
         self.parallel_mode: bool | None = None
+        #: session id stamped on cache records (set by the session actor).
+        self.session_id = ""
+        #: runtime chunk keys whose tileables called ``.cache()``: their
+        #: cache entries are explicit (never budget-evicted).
+        self.explicit_cache_keys: set[str] = set()
+        #: this run's identity/ancestor maps (runtime chunk key -> ...),
+        #: filled by the cache pass, consumed at record time.
+        self._chunk_idents: dict[str, str | None] = {}
+        self._chunk_deps: dict[str, frozenset] = {}
+        #: records accumulated during a stage, flushed to lifecycle once.
+        self._pending_cache_records: dict[str, tuple] = {}
 
     # -- service introspection (diagnostics / tests) --------------------
     @property
@@ -155,6 +174,10 @@ class GraphExecutor:
         decide.
         """
         retain = set(retain_keys or ())
+        cache_hits = cache_bytes = 0
+        if self._cache_enabled():
+            chunk_graph, cache_hits, cache_bytes = self._apply_cache(
+                chunk_graph)
         self.lifecycle.register_terminals({
             node.key: getattr(node, "terminal", False)
             for node in chunk_graph.nodes()
@@ -165,7 +188,12 @@ class GraphExecutor:
         ))
         pending = [node for node in order_nodes if node.key in not_stored]
         if not pending:
-            return SimReport()
+            empty = SimReport()
+            empty.cache_hit_chunks = cache_hits
+            empty.cache_reused_bytes = cache_bytes
+            self.report.cache_hit_chunks += cache_hits
+            self.report.cache_reused_bytes += cache_bytes
+            return empty
         pending_graph = chunk_graph.subgraph(pending)
 
         if self.config.graph_fusion:
@@ -186,6 +214,8 @@ class GraphExecutor:
         completion: dict[str, float] = {}
         stage = SimReport()
         stage.n_graph_nodes = len(pending_graph)
+        stage.cache_hit_chunks = cache_hits
+        stage.cache_reused_bytes = cache_bytes
 
         order = subtask_graph.topological_order()
         # stamp the structural identity fault injection and retry
@@ -236,8 +266,106 @@ class GraphExecutor:
             stage.n_subtasks = len(completion)
             stage.peak_memory = self.cluster.peak_memory()
             stage.band_busy = dict(self.cluster.clock.band_busy)
+            self._flush_cache_records()
             self._merge_report(stage)
         return stage
+
+    # -- result cache ---------------------------------------------------
+    def _cache_enabled(self) -> bool:
+        return self.cache is not None and bool(
+            getattr(self.config, "result_cache", False))
+
+    def _apply_cache(self, chunk_graph: DAG[ChunkData]):
+        """The cache-lookup + graph-pruning pass (planning time).
+
+        Computes every chunk's structural identity, rewires chunks whose
+        identity already has a live cached result onto the cached chunk
+        key, and rebuilds the graph from its sinks so satisfied subtrees
+        drop out entirely. Runs on the accounting thread, before any
+        stage state exists. Returns ``(graph, hit_chunks, reused_bytes)``.
+        """
+        order = chunk_graph.topological_order()
+        old_keys = [node.key for node in order]
+        known = self.cache.known_identities(old_keys)
+        idents, ancestors = compute_chunk_identities(order, known)
+        for key, ident in idents.items():
+            if ident is not None:
+                self._chunk_idents[key] = ident
+                self._chunk_deps[key] = ancestors.get(key, frozenset())
+        stored = set(old_keys) - set(self.storage.missing_keys(old_keys))
+        # sinks must be taken before any rebind: rebinding changes node
+        # hashes, which silently breaks the DAG's internal dicts.
+        sinks = chunk_graph.sinks()
+        candidates: dict[str, list[ChunkData]] = {}
+        for node in order:
+            ident = idents.get(node.key)
+            if ident is None or node.key in stored:
+                continue
+            candidates.setdefault(ident, []).append(node)
+        hits = self.cache.lookup_many(list(candidates), self.session_id)
+        n_hits = 0
+        reused = 0
+        for ident, (cached_key, nbytes) in hits.items():
+            for node in candidates[ident]:
+                if node.key == cached_key:
+                    continue
+                node.rebind_key(cached_key)
+                n_hits += 1
+                reused += nbytes
+        # bind final runtime keys to identities so later passes (partial
+        # executes of this run, the next run's boundary chunks) resolve
+        # them without recomputing the chain.
+        self.cache.note_identities([
+            (node.key, idents[old_key], tuple(ancestors.get(old_key, ())))
+            for node, old_key in zip(order, old_keys)
+            if idents.get(old_key) is not None
+        ])
+        for node, old_key in zip(order, old_keys):
+            if node.key != old_key and idents.get(old_key) is not None:
+                self._chunk_idents[node.key] = idents[old_key]
+                self._chunk_deps[node.key] = ancestors.get(
+                    old_key, frozenset())
+        if n_hits:
+            materialized = set(self.storage.all_keys())
+            from .tiler import chunk_closure
+            chunk_graph = chunk_closure(
+                sinks, lambda key: key in materialized)
+        return chunk_graph, n_hits, reused
+
+    def _collect_cache_record(self, subtask: Subtask,
+                              stored_by_key: dict[str, int],
+                              retain: set[str]) -> None:
+        """Queue freshly stored reusable outputs for cache registration.
+
+        Two kinds of chunks are worth caching: terminal (tileable
+        boundary) chunks, and retained chunks — the ones a dynamic
+        tiling yield demanded, which the next run's tiling pass will
+        demand again at the same structural position.
+        """
+        auto = bool(getattr(self.config, "result_cache_auto", True))
+        for chunk in subtask.chunks:
+            key = chunk.key
+            if key not in stored_by_key:
+                continue
+            if not getattr(chunk, "terminal", False) and key not in retain:
+                continue
+            ident = self._chunk_idents.get(key)
+            if ident is None:
+                continue
+            explicit = key in self.explicit_cache_keys
+            if not auto and not explicit:
+                continue
+            self._pending_cache_records[key] = (
+                ident, key, stored_by_key[key],
+                tuple(self._chunk_deps.get(key, ())), explicit,
+            )
+
+    def _flush_cache_records(self) -> None:
+        if not self._pending_cache_records:
+            return
+        records = list(self._pending_cache_records.values())
+        self._pending_cache_records.clear()
+        self.lifecycle.cache_record(records, self.session_id)
 
     # ------------------------------------------------------------------
     def _execute_parallel(self, order: list[Subtask], graph: DAG[Subtask],
@@ -510,6 +638,11 @@ class GraphExecutor:
         # Refcount frees, by contrast, forget the index eagerly.
         self.storage.delete(key)
         self.scheduling.forget_chunk(key)
+        if self._cache_enabled():
+            # a lost chunk must never be registered, and anything cached
+            # on top of it descends from vanished bytes.
+            self._pending_cache_records.pop(key, None)
+            self.lifecycle.invalidate_cached([key])
 
     def _kill_worker(self, worker: str, stage: SimReport) -> None:
         """Simulate a worker crash right after a subtask completed.
@@ -811,6 +944,12 @@ class GraphExecutor:
             self.shuffle.register_partitions(register_entries)
         if meta_entries:
             self.meta.set_from_values(meta_entries)
+        if not recovering and self._cache_enabled():
+            stored_by_key = {
+                key: stored
+                for (key, _value, _), stored in zip(put_entries, stored_sizes)
+            }
+            self._collect_cache_record(subtask, stored_by_key, retain)
 
         # -- charge virtual time ---------------------------------------------------
         duration = (
@@ -873,6 +1012,8 @@ class GraphExecutor:
         report.degraded_subtasks += stage.degraded_subtasks
         report.pressure_splits += stage.pressure_splits
         report.forced_spill_bytes += stage.forced_spill_bytes
+        report.cache_hit_chunks += stage.cache_hit_chunks
+        report.cache_reused_bytes += stage.cache_reused_bytes
         for worker, peak in stage.peak_memory.items():
             report.peak_memory[worker] = max(report.peak_memory.get(worker, 0), peak)
         report.band_busy = dict(stage.band_busy)

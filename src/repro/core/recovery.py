@@ -29,12 +29,12 @@ lineage walk are kept here so they stay side-effect free and testable.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from ..config import FaultSpec
 from ..errors import UnrecoverableChunkLoss
+from ..graph.identity import structural_draw
 from ..graph.subtask import Subtask
 
 
@@ -85,9 +85,7 @@ class FaultInjector:
     # -- deterministic draws ----------------------------------------------
     def _draw(self, *identity) -> float:
         """Uniform [0, 1) value derived from the seed and an identity."""
-        payload = ":".join(str(part) for part in (self.spec.seed,) + identity)
-        digest = hashlib.blake2b(payload.encode(), digest_size=8).digest()
-        return int.from_bytes(digest, "big") / 2.0 ** 64
+        return structural_draw(self.spec.seed, *identity)
 
     # -- decision points ---------------------------------------------------
     def fail_compute(self, subtask: Subtask, attempt: int) -> bool:

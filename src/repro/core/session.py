@@ -58,6 +58,10 @@ class RunReport:
     degraded_subtasks: int = 0
     pressure_splits: int = 0
     forced_spill_bytes: int = 0
+    #: result cache (zero with ``result_cache`` off): chunks pruned from
+    #: the execution graph by a hit, and the stored bytes they reused.
+    cache_hit_chunks: int = 0
+    cache_reused_bytes: int = 0
     peak_memory: dict[str, int] = field(default_factory=dict)
 
 
@@ -83,8 +87,10 @@ class SessionActor(Actor):
         self.executor = GraphExecutor(
             cluster, services.storage, services.meta, config,
             scheduler=services.scheduling, shuffle=services.shuffle,
-            lifecycle=services.lifecycle, runners=dict(services.runners),
+            lifecycle=services.lifecycle, cache=services.cache,
+            runners=dict(services.runners),
         )
+        self.executor.session_id = session_id
         self.tiler = TilingEngine(self.executor, services.meta, config)
         self.executed_tileables: list[str] = []
         self.last_report = RunReport()
@@ -126,6 +132,8 @@ class SessionActor(Actor):
         degraded0 = self.executor.report.degraded_subtasks
         splits0 = self.executor.report.pressure_splits
         forced0 = self.executor.report.forced_spill_bytes
+        cache_hits0 = self.executor.report.cache_hit_chunks
+        cache_bytes0 = self.executor.report.cache_reused_bytes
 
         previous_mode = self.executor.parallel_mode
         if parallel is not None:
@@ -154,6 +162,11 @@ class SessionActor(Actor):
                     retain = {
                         chunk.key for t in tileables for chunk in t.chunks
                     }
+                    self.executor.explicit_cache_keys.update(
+                        chunk.key for t in tileables
+                        if getattr(t, "cache_requested", False)
+                        for chunk in t.chunks
+                    )
                     self.executor.execute(chunk_graph, retain_keys=retain)
                     break
                 except WorkerOutOfMemory:
@@ -203,6 +216,12 @@ class SessionActor(Actor):
             forced_spill_bytes=(
                 self.executor.report.forced_spill_bytes - forced0
             ),
+            cache_hit_chunks=(
+                self.executor.report.cache_hit_chunks - cache_hits0
+            ),
+            cache_reused_bytes=(
+                self.executor.report.cache_reused_bytes - cache_bytes0
+            ),
             peak_memory=self.cluster.peak_memory(),
         )
         for tileable in tileables:
@@ -226,11 +245,17 @@ class SessionActor(Actor):
             node.chunks = []
             node.nsplits = ()
         storage = self.services.storage
-        for key in storage.all_keys():
-            if key not in stored_before:
-                storage.delete(key)
-                self.services.shuffle.forget_key(key)
-                self.services.scheduling.forget_chunk(key)
+        dropped = [
+            key for key in storage.all_keys() if key not in stored_before
+        ]
+        if dropped and self.config.result_cache:
+            # re-tiling regenerates these chunks under new keys — any
+            # cache entry recorded on them (or on top of them) is stale.
+            self.services.lifecycle.invalidate_cached(dropped)
+        for key in dropped:
+            storage.delete(key)
+            self.services.shuffle.forget_key(key)
+            self.services.scheduling.forget_chunk(key)
 
     # ------------------------------------------------------------------
     def fetch_tileable(self, tileable: TileableData) -> Any:
@@ -257,8 +282,11 @@ class SessionActor(Actor):
 
     def free_tileable(self, tileable: TileableData) -> None:
         """Drop a tileable's cached chunk data (it can be recomputed)."""
-        for chunk in tileable.chunks:
-            self.services.storage.delete(chunk.key)
+        keys = [chunk.key for chunk in tileable.chunks]
+        if keys and self.config.result_cache:
+            self.services.lifecycle.invalidate_cached(keys)
+        for key in keys:
+            self.services.storage.delete(key)
 
     def reset_metrics(self) -> None:
         """Fresh virtual clocks and counters (used between benchmark runs)."""
@@ -287,6 +315,7 @@ class Session:
         self.scheduler = services.scheduling
         self.shuffle = services.shuffle
         self.lifecycle = services.lifecycle
+        self.cache = services.cache
         Session._counter += 1
         self.session_id = f"session-{Session._counter}"
         self._actor_ref = self.cluster.actor_system.create_actor(

@@ -50,6 +50,18 @@ class Remote:
             self.execute()
         return self.session.fetch(self.data)
 
+    def cache(self):
+        """Mark this object's results for the cluster result cache.
+
+        With ``config.result_cache`` on, the chunks are recorded as
+        *explicit* cache entries — kept across runs regardless of the
+        cache's byte budget — so any later computation with the same
+        lineage reuses them instead of recomputing. Returns self
+        (chainable); a no-op while the cache is disabled.
+        """
+        self.data.cache_requested = True
+        return self
+
     def _refresh_shapes(self) -> None:
         meta = self.session.meta
         for chunk in self.data.chunks:

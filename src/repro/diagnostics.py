@@ -146,6 +146,36 @@ def pressure_report(session: Session) -> str:
     return "\n".join(lines)
 
 
+def cache_report(session: Session) -> str:
+    """Result-cache state: hits, misses, invalidations, bytes reused.
+
+    Reads the :class:`~repro.services.cache.ResultCacheService`
+    counters through the session's cache actor ref, plus the
+    executor-side view (chunks actually pruned from execution graphs),
+    broken down per session for multi-tenant clusters.
+    """
+    stats = session.cache.stats_snapshot()
+    report = session.executor.report
+    lines = [
+        "result cache:",
+        f"  enabled:             {bool(session.config.result_cache)}",
+        f"  hits / misses:       {stats['hits']} / {stats['misses']}",
+        f"  invalidations:       {stats['invalidations']}",
+        f"  evictions:           {stats['evictions']}",
+        f"  bytes reused:        {human_bytes(stats['bytes_reused'])}",
+        f"  live entries:        {stats['entries']} "
+        f"({human_bytes(stats['bytes_cached'])})",
+        f"  chunks pruned:       {report.cache_hit_chunks}",
+    ]
+    for name, sess in sorted(stats["per_session"].items()):
+        label = name or "(default)"
+        lines.append(
+            f"    {label:20s} hits={sess['hits']} misses={sess['misses']} "
+            f"reused={human_bytes(sess['bytes_reused'])}"
+        )
+    return "\n".join(lines)
+
+
 def messages_per_subtask(session: Session) -> float:
     """Actor messages delivered per executed subtask (0.0 before any run).
 

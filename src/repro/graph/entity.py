@@ -68,6 +68,15 @@ class EntityData:
     def __eq__(self, other) -> bool:
         return isinstance(other, EntityData) and other.key == self.key
 
+    def rebind_key(self, key: str) -> None:
+        """Point this node at an already-stored value (result-cache hit).
+
+        Changes the node's hash, so any graph containing it must be
+        rebuilt afterwards (``tiler.chunk_closure`` over the sinks).
+        """
+        self.key = key
+        self._hash = hash(key)
+
 
 class ChunkData(EntityData):
     """One partition of a tileable, produced by one operator invocation.
@@ -105,7 +114,7 @@ class ChunkData(EntityData):
 class TileableData(EntityData):
     """One logical dataset node of the tileable graph."""
 
-    __slots__ = ("chunks", "nsplits")
+    __slots__ = ("chunks", "nsplits", "cache_requested")
 
     def __init__(self, kind: str, shape: tuple, op=None,
                  dtype: Any = None, columns: Optional[list] = None,
@@ -116,6 +125,9 @@ class TileableData(EntityData):
         #: per-dimension chunk extents, e.g. ((4, 4, 2), (3,)); ``None``
         #: entries mark extents unknown before execution.
         self.nsplits: tuple[tuple, ...] = ()
+        #: set by ``.cache()``: the result cache must keep this
+        #: tileable's chunks even under budget pressure.
+        self.cache_requested = False
 
     def _key_prefix(self) -> str:
         return "t"

@@ -36,6 +36,7 @@ STORAGE_UID = "service/storage"
 SHUFFLE_UID = "service/shuffle"
 SCHEDULING_UID = "service/scheduling"
 LIFECYCLE_UID = "service/lifecycle"
+CACHE_UID = "service/cache"
 
 
 def worker_storage_uid(worker: str) -> str:
@@ -59,6 +60,7 @@ __all__ = [
     "SHUFFLE_UID",
     "SCHEDULING_UID",
     "LIFECYCLE_UID",
+    "CACHE_UID",
     "worker_storage_uid",
     "runner_uid",
     "session_actor_uid",

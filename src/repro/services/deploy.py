@@ -17,6 +17,7 @@ from ..core.meta import MetaService
 from ..storage.service import StorageService
 from ..storage.shuffle import ShuffleManager
 from . import (
+    CACHE_UID,
     LIFECYCLE_UID,
     META_UID,
     SCHEDULING_UID,
@@ -25,6 +26,7 @@ from . import (
     runner_uid,
     worker_storage_uid,
 )
+from .cache import CacheActor, ResultCacheService
 from .lifecycle import LifecycleActor, LifecycleService
 from .meta import MetaActor
 from .runner import SubtaskRunner, SubtaskRunnerActor
@@ -42,6 +44,7 @@ class ServiceHandles:
     scheduling: Any = None
     lifecycle: Any = None
     shuffle: Any = None
+    cache: Any = None
     #: band name -> ref of the band's subtask runner actor.
     runners: dict[str, Any] = field(default_factory=dict)
 
@@ -83,9 +86,15 @@ def deploy_services(cluster: ClusterState, config: Config) -> ServiceHandles:
         uid=SCHEDULING_UID,
     )
 
+    cache = system.create_actor(
+        SUPERVISOR_ADDRESS, CacheActor,
+        ResultCacheService(storage, config), uid=CACHE_UID,
+    )
+
     lifecycle = system.create_actor(
         SUPERVISOR_ADDRESS, LifecycleActor,
-        LifecycleService(storage, shuffle, config), uid=LIFECYCLE_UID,
+        LifecycleService(storage, shuffle, config, cache=cache),
+        uid=LIFECYCLE_UID,
     )
 
     procpool = (
@@ -103,5 +112,5 @@ def deploy_services(cluster: ClusterState, config: Config) -> ServiceHandles:
 
     return ServiceHandles(
         meta=meta, storage=storage, scheduling=scheduling,
-        lifecycle=lifecycle, shuffle=shuffle, runners=runners,
+        lifecycle=lifecycle, shuffle=shuffle, cache=cache, runners=runners,
     )

@@ -20,10 +20,11 @@ from .base import ServiceActor
 class LifecycleService:
     """Refcount/forget logic plus the lineage registry."""
 
-    def __init__(self, storage, shuffle=None, config=None):
+    def __init__(self, storage, shuffle=None, config=None, cache=None):
         self._storage = storage
         self._shuffle = shuffle
         self._config = config
+        self._cache = cache
         self._recovery = RecoveryManager()
         #: chunk key -> is a tileable-boundary (user-visible) chunk;
         #: persisted across stages like the executor's old field.
@@ -31,6 +32,9 @@ class LifecycleService:
         #: active stage's remaining-consumer counts and retained keys.
         self._consumers: defaultdict[str, int] = defaultdict(int)
         self._retain: set[str] = set()
+        #: chunk keys the result cache points at — exempt from
+        #: refcount-driven frees until evicted or invalidated.
+        self._cache_protected: set[str] = set()
 
     # -- stage refcounting -------------------------------------------------
     def register_terminals(self, terminal_by_key: dict[str, bool]) -> None:
@@ -57,6 +61,8 @@ class LifecycleService:
         for key in input_keys:
             self._consumers[key] -= 1
             if self._consumers[key] <= 0 and key not in self._retain:
+                if key in self._cache_protected:
+                    continue
                 if eager or not self._terminal.get(key, False):
                     freed.append(key)
         # frees go out batched, but still storage first then shuffle —
@@ -77,6 +83,55 @@ class LifecycleService:
         freed = self.release_consumed(subtask.input_keys)
         self._recovery.record(subtask)
         return freed
+
+    # -- result cache ------------------------------------------------------
+    def cache_record(self, entries, session_id: str = "") -> list[str]:
+        """Register executed results with the cache; handle evictions.
+
+        ``entries`` holds ``(ident, chunk_key, nbytes, deps, explicit)``
+        tuples. Newly cached chunks become protected from refcount
+        frees; chunks the cache evicted for budget lose protection and
+        — under eager-release semantics — are deleted outright unless
+        the active stage still retains them.
+        """
+        if self._cache is None:
+            return []
+        entries = list(entries)
+        evicted = self._cache.record_many(entries, session_id)
+        for _ident, chunk_key, _nbytes, _deps, _explicit in entries:
+            self._cache_protected.add(chunk_key)
+        return self._unprotect(evicted)
+
+    def invalidate_cached(self, chunk_keys) -> list[str]:
+        """Chunk bytes vanished or changed: drop dependent cache entries.
+
+        Returns the chunk keys whose entries were dropped (their values,
+        where still stored, become ordinary freeable intermediates).
+        """
+        if self._cache is None:
+            return []
+        dropped = self._cache.invalidate_chunks(list(chunk_keys))
+        return self._unprotect(dropped)
+
+    def _unprotect(self, chunk_keys) -> list[str]:
+        # Under eager-release semantics an unprotected chunk would have
+        # been freed by refcounting long ago — drop its bytes now
+        # (consumers re-materialize via lineage, as with the cache off).
+        eager = bool(self._config.eager_release) if self._config else False
+        deletable: list[str] = []
+        for key in chunk_keys:
+            self._cache_protected.discard(key)
+            if eager and key not in self._retain:
+                deletable.append(key)
+        if deletable:
+            missing = set(self._storage.missing_keys(deletable))
+            present = [k for k in deletable if k not in missing]
+            if present:
+                self._storage.delete_many(present)
+        return list(chunk_keys)
+
+    def cache_protected(self) -> set[str]:
+        return set(self._cache_protected)
 
     # -- lineage -----------------------------------------------------------
     def record(self, subtask) -> None:
@@ -103,6 +158,9 @@ class LifecycleActor(ServiceActor):
         "begin_stage",
         "release_consumed",
         "finish_subtask",
+        "cache_record",
+        "invalidate_cached",
+        "cache_protected",
         "record",
         "producer_of",
         "plan",

@@ -47,6 +47,12 @@ class Tensor:
             self.execute()
         return self.session.fetch(self.data)
 
+    def cache(self) -> "Tensor":
+        """Mark results for explicit result-cache retention (see
+        ``dataframe.core.Remote.cache``). Returns self."""
+        self.data.cache_requested = True
+        return self
+
     def __repr__(self) -> str:  # deferred evaluation
         return repr(self.fetch())
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import math
 from typing import Any, Iterable, Iterator, Sequence
@@ -18,11 +17,14 @@ def new_key(prefix: str = "k") -> str:
 
 
 def tokenize(*parts: Any) -> str:
-    """Deterministic short hash of the given parts (for cache keys)."""
-    hasher = hashlib.blake2b(digest_size=10)
-    for part in parts:
-        hasher.update(repr(part).encode())
-    return hasher.hexdigest()
+    """Deterministic short hash of the given parts (for cache keys).
+
+    The canonical implementation lives in ``graph.identity`` (imported
+    lazily: ``graph`` imports ``entity`` which imports this module, so a
+    top-level import here would be circular during package init).
+    """
+    from .graph.identity import tokenize as _tokenize
+    return _tokenize(*parts)
 
 
 def sizeof(obj: Any) -> int:

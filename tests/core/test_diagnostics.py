@@ -135,3 +135,32 @@ class TestServiceReport:
         with Session(Config()) as fresh:
             text = diagnostics.service_report(fresh)
             assert "per subtask" not in text
+
+
+class TestCacheReport:
+    def test_cache_report_disabled(self, session, result):
+        text = diagnostics.cache_report(session)
+        assert "result cache:" in text
+        assert "enabled:             False" in text
+        assert "hits / misses:       0 / 0" in text
+
+    def test_cache_report_after_warm_run(self):
+        cfg = Config()
+        cfg.chunk_store_limit = 4_000
+        cfg.result_cache = True
+        with Session(cfg) as session:
+            rng = np.random.default_rng(0)
+            local = pf.DataFrame({"k": rng.integers(0, 4, 300),
+                                  "v": rng.normal(size=300)})
+            for _ in range(2):
+                from_frame(local, session).groupby("k").agg(
+                    {"v": "sum"}).fetch()
+            text = diagnostics.cache_report(session)
+            stats = session.cache.stats_snapshot()
+        assert "enabled:             True" in text
+        assert f"hits / misses:       {stats['hits']} /" in text
+        assert stats["hits"] > 0
+        assert "bytes reused:" in text
+        assert "chunks pruned:" in text
+        # the per-session breakdown names the session that hit.
+        assert session.session_id in text

@@ -201,3 +201,83 @@ class TestShuffle:
         assert shuffle.live_bytes("s1") > 0
         shuffle.cleanup("s1")
         assert shuffle.live_bytes("s1") == 0
+
+
+class TestAccountingInvariants:
+    """Observation must never change accounting (result-cache satellite).
+
+    The result cache validates hits with ``contains`` and the planner
+    observes values with ``peek``/``peek_values``; none of these may
+    perturb LRU order (spill victim selection) or pin state, or cache
+    lookups would change which chunk spills next.
+    """
+
+    def _lru_order(self, service, worker="worker-0"):
+        return list(service.worker_unit(worker)._lru)
+
+    def test_peek_does_not_touch_lru(self):
+        service, _ = make_service(memory_limit=100_000)
+        for key in ("a", "b", "c"):
+            service.put(key, np.zeros(100), "worker-0")
+        before = self._lru_order(service)
+        service.peek("a")
+        service.peek_value("a")
+        service.peek_values(["a", "b"])
+        assert self._lru_order(service) == before == ["a", "b", "c"]
+
+    def test_get_does_touch_lru(self):
+        # the control: a charged read must refresh recency, so the two
+        # paths are genuinely different in the victim ordering.
+        service, _ = make_service(memory_limit=100_000)
+        for key in ("a", "b", "c"):
+            service.put(key, np.zeros(100), "worker-0")
+        service.get("a", "worker-0")
+        assert self._lru_order(service) == ["b", "c", "a"]
+
+    def test_peeked_chunk_still_first_spill_victim(self):
+        service, _ = make_service(memory_limit=2_000)
+        a = np.zeros(100)  # 800 bytes
+        service.put("old", a, "worker-0")
+        service.put("mid", a, "worker-0")
+        service.peek("old")  # observation must not rescue "old"
+        service.put("new", a, "worker-0")  # needs a spill
+        assert service.location_of("old") == ("worker-0", StorageLevel.DISK)
+        assert service.location_of("mid") == ("worker-0", StorageLevel.MEMORY)
+
+    def test_contains_does_not_touch_lru(self):
+        service, _ = make_service(memory_limit=100_000)
+        for key in ("a", "b", "c"):
+            service.put(key, np.zeros(100), "worker-0")
+        before = self._lru_order(service)
+        assert service.contains("a")
+        assert not service.contains("nope")
+        assert self._lru_order(service) == before
+
+    def test_force_spill_exempts_pinned(self):
+        service, _ = make_service(memory_limit=100_000)
+        a = np.zeros(100)
+        service.put("pinned", a, "worker-0")
+        service.put("loose1", a, "worker-0")
+        service.put("loose2", a, "worker-0")
+        service.pin(["pinned"])
+        moved = service.force_spill("worker-0")
+        assert moved == 2 * a.nbytes
+        assert service.location_of("pinned") == (
+            "worker-0", StorageLevel.MEMORY)
+        assert service.location_of("loose1") == (
+            "worker-0", StorageLevel.DISK)
+        assert service.location_of("loose2") == (
+            "worker-0", StorageLevel.DISK)
+        service.unpin(["pinned"])
+        assert service.force_spill("worker-0") == a.nbytes
+
+    def test_lru_spill_skips_pinned(self):
+        service, _ = make_service(memory_limit=2_000)
+        a = np.zeros(100)  # 800 bytes
+        service.put("old", a, "worker-0")
+        service.put("mid", a, "worker-0")
+        service.pin(["old"])
+        service.put("new", a, "worker-0")  # budget spill must skip "old"
+        assert service.location_of("old") == (
+            "worker-0", StorageLevel.MEMORY)
+        assert service.location_of("mid") == ("worker-0", StorageLevel.DISK)

@@ -1,0 +1,96 @@
+"""CI smoke for the lineage-keyed result cache.
+
+Two gates, checked end-to-end on a fresh interpreter:
+
+1. **warm reuse** — TPC-H q1 run twice in one cached session: the warm
+   run must skip at least half the subtasks and produce a byte-identical
+   result;
+2. **golden safety** — the 14 golden engine scenarios replayed with the
+   cache *disabled* (the default) must stay bit-identical to the
+   committed reports: the cache must be invisible when off.
+
+Run: ``PYTHONPATH=src python tools/cache_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.config import Config
+from repro.core import Session
+from repro.dataframe import from_frame
+from repro.workloads.tpch import ALL_QUERIES, generate_tables
+from repro.workloads.tpch.queries import materialize
+
+
+def warm_q1_smoke() -> int:
+    cfg = Config()
+    cfg.chunk_store_limit = 64 * 1024
+    cfg.parallel_execution = False
+    cfg.result_cache = True
+    failures = 0
+    tables = generate_tables(sf=0.5, seed=7)
+    with Session(cfg) as session:
+        runs = []
+        for _ in range(2):
+            handles = {
+                name: from_frame(frame, session)
+                for name, frame in tables.items()
+            }
+            value = materialize(ALL_QUERIES["q1"](handles))
+            runs.append((repr(value), session.last_report))
+        (cold_repr, cold), (warm_repr, warm) = runs
+    if warm_repr != cold_repr:
+        print("FAIL warm q1: result diverged from the cold run")
+        failures += 1
+    if cold.n_subtasks == 0:
+        print("FAIL warm q1: cold run executed no subtasks")
+        failures += 1
+    elif warm.n_subtasks > 0.5 * cold.n_subtasks:
+        print(f"FAIL warm q1: only skipped "
+              f"{cold.n_subtasks - warm.n_subtasks}/{cold.n_subtasks} "
+              "subtasks (< 50%)")
+        failures += 1
+    if warm.cache_hit_chunks == 0:
+        print("FAIL warm q1: no cache hits recorded")
+        failures += 1
+    if not failures:
+        print(f"OK warm q1: {cold.n_subtasks} -> {warm.n_subtasks} "
+              f"subtasks, {warm.cache_hit_chunks} chunks reused, "
+              "identical result")
+    return failures
+
+
+def goldens_smoke() -> int:
+    from tests.core.golden_harness import GOLDEN_PATH, run_scenario, scenarios
+
+    with open(GOLDEN_PATH) as f:
+        goldens = json.load(f)
+    failures = 0
+    for name, spec in scenarios():
+        report = json.loads(json.dumps(run_scenario(spec)))
+        if report != goldens[name]:
+            print(f"FAIL golden {name}: report changed with cache disabled")
+            failures += 1
+    if not failures:
+        print(f"OK goldens: {len(scenarios())} scenarios bit-identical "
+              "with the cache disabled")
+    return failures
+
+
+def main() -> int:
+    failures = warm_q1_smoke()
+    failures += goldens_smoke()
+    if failures:
+        print(f"{failures} cache smoke failure(s)")
+        return 1
+    print("cache smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,7 @@ ALLOWED = {
     # legacy self-assembly, never by client code.
     "SchedulingService": {"repro/services/", "repro/core/executor.py"},
     "LifecycleService": {"repro/services/", "repro/core/executor.py"},
+    "ResultCacheService": {"repro/services/", "repro/core/executor.py"},
     "SubtaskRunner": {"repro/services/", "repro/core/executor.py"},
 }
 
