@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from ..actors import ActorSystem
 from ..config import Config
 from .resource import Band, MemoryTracker, WorkerSpec, build_workers
@@ -48,6 +50,13 @@ class ClusterState:
             self.actor_system.create_pool(worker.name)
         #: lazy process-pool client (``execution_mode == "process"``).
         self._procpool = None
+        #: the cluster-scoped service plane, memoized by
+        #: ``deploy_cluster_services`` — ``None`` until first deploy.
+        #: Sessions sharing this cluster attach to the same handles.
+        self.services = None
+        #: serializes service deployment and session attach/detach on a
+        #: shared cluster.
+        self.services_lock = threading.Lock()
 
     @property
     def n_bands(self) -> int:

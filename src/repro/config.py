@@ -212,6 +212,23 @@ class Config:
     #: it. Explicit ``.cache()`` entries never count as eviction victims.
     result_cache_budget: int = 256 * MiB
 
+    # --- multi-tenant serving -----------------------------------------------
+    #: weighted fair-share dispatch weight of this session on a shared
+    #: cluster: a weight-2 tenant gets stage turns twice as often as a
+    #: weight-1 tenant (stride scheduling over stage grants). Ignored by
+    #: sessions that own their cluster.
+    tenant_weight: float = 1.0
+    #: fraction of each worker's memory budget this session's admission
+    #: grants may hold concurrently on a shared cluster (``0`` = no
+    #: per-tenant cap, only the worker-wide budget applies). A tenant at
+    #: its quota waits in virtual time without stalling other tenants'
+    #: admitted subtasks.
+    tenant_memory_quota: float = 0.0
+    #: serve concurrent sessions in weighted fair-share order (stride
+    #: scheduling at stage granularity). Off degrades to FIFO arrival
+    #: order on the shared scheduling turnstile.
+    fair_share: bool = True
+
     # --- cluster & costs ----------------------------------------------------
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     cost_model: CostModel = field(default_factory=CostModel)

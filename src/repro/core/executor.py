@@ -135,6 +135,21 @@ class GraphExecutor:
         self.parallel_mode: bool | None = None
         #: session id stamped on cache records (set by the session actor).
         self.session_id = ""
+        #: True when this executor shares its cluster with other
+        #: sessions (set by the session actor on a shared plane).
+        #: Switches the stage base time to the per-session frontier,
+        #: serializes stage accounting through the scheduling turnstile,
+        #: and scopes admission/degrade/lifecycle/fault state by session.
+        self.multi_tenant = False
+        #: this session's virtual-time frontier: the max completion time
+        #: of its own subtasks. On a shared cluster it replaces the
+        #: global ``clock.now`` as the stage base, so one tenant's stage
+        #: barrier never delays another tenant's independent subtasks —
+        #: stages interleave into band idle time.
+        self.frontier = 0.0
+        #: per-session fault injector override (shared clusters scope
+        #: chaos per tenant); ``None`` falls through to the cluster's.
+        self.faults = None
         #: runtime chunk keys whose tileables called ``.cache()``: their
         #: cache entries are explicit (never budget-evicted).
         self.explicit_cache_keys: set[str] = set()
@@ -144,6 +159,35 @@ class GraphExecutor:
         self._chunk_deps: dict[str, frozenset] = {}
         #: records accumulated during a stage, flushed to lifecycle once.
         self._pending_cache_records: dict[str, tuple] = {}
+
+    # -- multi-tenant helpers -------------------------------------------
+    def _injector(self):
+        """The fault injector in scope: per-session on a shared cluster."""
+        return self.faults if self.faults is not None else self.cluster.faults
+
+    def _tenant(self) -> str:
+        """Session scope passed to shared services ('' on private clusters,
+        so single-session behaviour is untouched)."""
+        return self.session_id if self.multi_tenant else ""
+
+    def _quota_for(self, tracker) -> int | None:
+        """This tenant's per-worker admission byte cap, or ``None``."""
+        if not self.multi_tenant:
+            return None
+        frac = float(getattr(self.config, "tenant_memory_quota", 0.0) or 0.0)
+        if frac <= 0.0:
+            return None
+        return max(1, int(frac * tracker.limit))
+
+    def acquire_turn(self) -> None:
+        """Enter the shared-plane stage turnstile (no-op on private
+        clusters); reentrant for the holding session."""
+        if self.multi_tenant:
+            self.scheduling.acquire_turn(self.session_id)
+
+    def release_turn(self) -> None:
+        if self.multi_tenant:
+            self.scheduling.release_turn(self.session_id)
 
     # -- service introspection (diagnostics / tests) --------------------
     @property
@@ -173,6 +217,15 @@ class GraphExecutor:
         default :attr:`parallel_mode`, then ``config.parallel_execution``
         decide.
         """
+        self.acquire_turn()
+        try:
+            return self._execute_stage(chunk_graph, retain_keys, parallel)
+        finally:
+            self.release_turn()
+
+    def _execute_stage(self, chunk_graph: DAG[ChunkData],
+                       retain_keys: set[str] | None = None,
+                       parallel: bool | None = None) -> SimReport:
         retain = set(retain_keys or ())
         cache_hits = cache_bytes = 0
         if self._cache_enabled():
@@ -207,8 +260,13 @@ class GraphExecutor:
 
         # serial graph-construction/dispatch overhead (auto merge exists to
         # keep this small): charged once, before any subtask starts.
+        # On a shared cluster the base is this session's own frontier,
+        # not the global clock — another tenant's later stage must not
+        # become a barrier for this one (band availability still
+        # serializes real band time via ``clock.run_subtask``).
         dispatch = self.config.cost_model.dispatch_overhead * len(pending_graph)
-        base_time = self.cluster.clock.now + dispatch
+        origin = self.frontier if self.multi_tenant else self.cluster.clock.now
+        base_time = origin + dispatch
 
         consumers = self._count_consumers(subtask_graph)
         completion: dict[str, float] = {}
@@ -232,10 +290,16 @@ class GraphExecutor:
             parallel = self.parallel_mode
         if parallel is None:
             parallel = self.config.parallel_execution
-        # stage boundary: every grant of a previous stage ended at or
-        # before this stage's base time, so the ledger starts empty.
-        self.scheduling.begin_stage()
-        self.lifecycle.begin_stage(dict(consumers), retain)
+        # stage boundary: on a private cluster every grant of a previous
+        # stage ended at or before this stage's base time, so the ledger
+        # starts empty; on a shared cluster only grants ending by this
+        # session's base are pruned — other tenants' grants survive.
+        if self.multi_tenant:
+            self.scheduling.begin_stage(base_time)
+        else:
+            self.scheduling.begin_stage()
+        self.lifecycle.begin_stage(dict(consumers), retain,
+                                   session=self._tenant())
         try:
             if parallel and should_use_parallel(order, self.config):
                 self._execute_parallel(
@@ -263,6 +327,7 @@ class GraphExecutor:
             stage.makespan = (
                 max(completion.values()) if completion else base_time
             )
+            self.frontier = max(self.frontier, stage.makespan)
             stage.n_subtasks = len(completion)
             stage.peak_memory = self.cluster.peak_memory()
             stage.band_busy = dict(self.cluster.clock.band_busy)
@@ -386,7 +451,7 @@ class GraphExecutor:
         # the gate reads no mutable shared state; it never affects any
         # simulated number (see memory_control.DispatchGate).
         gate = (
-            self.scheduling.dispatch_gate(order)
+            self.scheduling.dispatch_gate(order, self._tenant())
             if self.config.admission_control else None
         )
         system = getattr(self.cluster, "actor_system", None)
@@ -459,7 +524,7 @@ class GraphExecutor:
         simulated start time; a retryable failure past the budget raises
         :class:`RetriesExhausted` instead of looping or hanging.
         """
-        injector = self.cluster.faults
+        injector = self._injector()
         squeezed = None
         squeezed_limit = 0
         if injector.enabled:
@@ -478,7 +543,7 @@ class GraphExecutor:
                 end = self._run_guarded(subtask, graph, completion, base_time,
                                         retain, consumers, stage,
                                         computed=computed)
-                self.lifecycle.finish_subtask(subtask)
+                self.lifecycle.finish_subtask(subtask, session=self._tenant())
                 return end
             spec = injector.spec
             ident = (subtask.stage_index, subtask.priority)
@@ -513,7 +578,7 @@ class GraphExecutor:
                     if lost:
                         self._recover_lost(lost, base_time, stage)
                     continue
-                self.lifecycle.finish_subtask(subtask)
+                self.lifecycle.finish_subtask(subtask, session=self._tenant())
                 self._inject_post_subtask(subtask, stage)
                 return end
         finally:
@@ -589,7 +654,7 @@ class GraphExecutor:
         # retry under exclusive admission; a second failure here means
         # the subtask cannot fit even alone — escalate to re-tiling (d).
         stage.oom_retries += 1
-        self.scheduling.degrade(worker)
+        self.scheduling.degrade(worker, self._tenant())
         return self._run_subtask(
             subtask, graph, completion, base_time, retain, consumers,
             stage, computed=computed, recovering=recovering,
@@ -622,7 +687,7 @@ class GraphExecutor:
         lineage for the subtask is recorded beforehand, so everything
         lost here is recomputable.
         """
-        injector = self.cluster.faults
+        injector = self._injector()
         for out_index, key in enumerate(subtask.output_keys):
             if injector.drop_chunk(subtask, out_index, key):
                 self._lose_chunk(key)
@@ -640,9 +705,12 @@ class GraphExecutor:
         self.scheduling.forget_chunk(key)
         if self._cache_enabled():
             # a lost chunk must never be registered, and anything cached
-            # on top of it descends from vanished bytes.
+            # on top of it descends from vanished bytes. On a shared
+            # cluster the transitive walk is scoped to this tenant's
+            # entries — a neighbour's materialized results stay valid.
             self._pending_cache_records.pop(key, None)
-            self.lifecycle.invalidate_cached([key])
+            scope = self.session_id if self.multi_tenant else None
+            self.lifecycle.invalidate_cached([key], session=scope)
 
     def _kill_worker(self, worker: str, stage: SimReport) -> None:
         """Simulate a worker crash right after a subtask completed.
@@ -651,12 +719,19 @@ class GraphExecutor:
         lost (recomputable on demand); chunks without lineage are
         driver-held inputs and survive. The worker's bands sit out the
         configured restart time before accepting more work.
+
+        On a shared cluster only this session's chunks are lost — a
+        tenant's scoped chaos (its own injector) models failures of *its*
+        work, and must never drop a neighbour's chunks.
         """
+        prefix = f"{self.session_id}/" if self.multi_tenant else None
         for key in list(self.storage.keys_on(worker)):
+            if prefix is not None and not key.startswith(prefix):
+                continue
             if self.lifecycle.producer_of(key) is None:
                 continue
             self._lose_chunk(key)
-        restart = self.cluster.faults.spec.worker_restart_time
+        restart = self._injector().spec.worker_restart_time
         for band in self.cluster.bands:
             if band.worker == worker:
                 self.cluster.clock.delay_band(band.name, restart)
@@ -671,11 +746,15 @@ class GraphExecutor:
         missing = self.storage.missing_keys(keys)
         if not missing:
             return
-        stage = SimReport()
-        self._recover_lost(missing, self.cluster.clock.now, stage)
-        self.report.recomputed_subtasks += stage.recomputed_subtasks
-        self.report.recovery_bytes += stage.recovery_bytes
-        self.report.total_compute_seconds += stage.total_compute_seconds
+        self.acquire_turn()
+        try:
+            stage = SimReport()
+            self._recover_lost(missing, self.cluster.clock.now, stage)
+            self.report.recomputed_subtasks += stage.recomputed_subtasks
+            self.report.recovery_bytes += stage.recovery_bytes
+            self.report.total_compute_seconds += stage.total_compute_seconds
+        finally:
+            self.release_turn()
 
     # ------------------------------------------------------------------
     def _run_subtask(self, subtask: Subtask, graph: DAG[Subtask] | None,
@@ -886,6 +965,7 @@ class GraphExecutor:
                 subtask, worker, working_set, ready_time,
                 tracker.used, tracker.limit,
                 allow_wait=self.config.admission_control,
+                session=self._tenant(), quota=self._quota_for(tracker),
             )
             if exclusive:
                 stage.degraded_subtasks += 1

@@ -158,10 +158,11 @@ class FootprintEstimator:
 class AdmissionDecision:
     """Outcome of one :meth:`MemoryAdmission.admit` call."""
 
-    __slots__ = ("worker", "nbytes", "start", "wait", "active", "forced")
+    __slots__ = ("worker", "nbytes", "start", "wait", "active", "forced",
+                 "session")
 
     def __init__(self, worker: str, nbytes: int, start: float, wait: float,
-                 active: int, forced: bool):
+                 active: int, forced: bool, session: str = ""):
         self.worker = worker
         #: bytes this grant reserves when committed.
         self.nbytes = nbytes
@@ -174,6 +175,8 @@ class AdmissionDecision:
         #: admitted oversubscribed after draining every grant — the
         #: deadlock guard fired (caller escalates to spill / the ladder).
         self.forced = forced
+        #: the tenant this grant belongs to ("" on a private cluster).
+        self.session = session
 
 
 class MemoryAdmission:
@@ -190,19 +193,41 @@ class MemoryAdmission:
     """
 
     def __init__(self):
-        #: worker -> sorted list of (end_time, nbytes) grants.
-        self._grants: dict[str, list[tuple[float, int]]] = {}
+        #: worker -> sorted list of (end_time, nbytes, session) grants.
+        self._grants: dict[str, list[tuple[float, int, str]]] = {}
         self.forced_admissions = 0
         self.total_wait = 0.0
 
-    def begin_stage(self) -> None:
-        """Drop expired grants at a stage boundary (all of them are)."""
-        self._grants.clear()
+    def begin_stage(self, base: float | None = None) -> None:
+        """Drop expired grants at a stage boundary.
+
+        On a private cluster every grant has ended by the stage base
+        time (the base is past every prior end), so ``base=None`` clears
+        everything — the historical behaviour. On a shared cluster the
+        caller passes its stage base and only grants ending at or before
+        it are pruned: other tenants' in-flight grants survive.
+        """
+        if base is None:
+            self._grants.clear()
+            return
+        for worker in list(self._grants):
+            kept = [g for g in self._grants[worker] if g[0] > base]
+            if kept:
+                self._grants[worker] = kept
+            else:
+                del self._grants[worker]
 
     def active_bytes(self, worker: str, at: float) -> int:
         return sum(
-            nbytes for end, nbytes in self._grants.get(worker, ())
+            nbytes for end, nbytes, _ in self._grants.get(worker, ())
             if end > at
+        )
+
+    def session_bytes(self, worker: str, at: float, session: str) -> int:
+        """Granted bytes one tenant holds on ``worker`` at time ``at``."""
+        return sum(
+            nbytes for end, nbytes, sess in self._grants.get(worker, ())
+            if end > at and sess == session
         )
 
     def outstanding(self, at: float) -> int:
@@ -213,7 +238,8 @@ class MemoryAdmission:
 
     def admit(self, worker: str, nbytes: int, ready_time: float,
               used: int, limit: int, allow_wait: bool,
-              exclusive: bool = False) -> AdmissionDecision:
+              exclusive: bool = False, session: str = "",
+              quota: int | None = None) -> AdmissionDecision:
         """Grant ``nbytes`` on ``worker`` no earlier than ``ready_time``.
 
         ``allow_wait`` off reproduces the seed engine: the request is
@@ -223,36 +249,58 @@ class MemoryAdmission:
         fits — or every grant has ended, at which point the lone waiter
         is admitted even oversubscribed (the deadlock guard).
 
-        ``exclusive`` (degraded worker) always drains to zero active
-        grants first: one subtask at a time.
+        ``exclusive`` (degraded worker) drains this *session's* grants
+        to zero first — one of the tenant's subtasks at a time. Other
+        tenants' grants are untouched: a degraded tenant never
+        serializes its neighbours.
+
+        ``quota`` caps the bytes this ``session`` may hold concurrently
+        on the worker. A tenant at its quota waits for its own grants to
+        end; once it holds nothing and still exceeds the quota, it is
+        admitted anyway (the per-tenant deadlock guard — a quota smaller
+        than one subtask serializes the tenant, never wedges it).
         """
         grants = self._grants.get(worker, ())
         start = ready_time
-        active = sum(n for end, n in grants if end > start)
+        active = sum(n for end, n, _ in grants if end > start)
+        own = (sum(n for end, n, s in grants if end > start and s == session)
+               if quota is not None else 0)
+
+        def fits() -> bool:
+            if used + active + nbytes > limit:
+                return False
+            if quota is not None and own > 0 and own + nbytes > quota:
+                return False
+            return True
+
         if exclusive:
-            for end, _ in grants:
-                if end > start:
+            for end, _, sess in grants:
+                if end > start and sess == session:
                     start = end
-            active = 0
+            active = sum(n for end, n, _ in grants if end > start)
         elif allow_wait:
-            ends = sorted(end for end, _ in grants if end > start)
+            ends = sorted(end for end, _, _ in grants if end > start)
             for end in ends:
-                if used + active + nbytes <= limit:
+                if fits():
                     break
                 start = end
-                active = sum(n for e, n in grants if e > start)
+                active = sum(n for e, n, _ in grants if e > start)
+                if quota is not None:
+                    own = sum(n for e, n, s in grants
+                              if e > start and s == session)
         forced = used + active + nbytes > limit
         if forced and (allow_wait or exclusive):
             self.forced_admissions += 1
         wait = start - ready_time
         self.total_wait += wait
-        return AdmissionDecision(worker, nbytes, start, wait, active, forced)
+        return AdmissionDecision(worker, nbytes, start, wait, active, forced,
+                                 session)
 
     def commit(self, decision: AdmissionDecision, end_time: float) -> None:
         """Record the admitted subtask's grant now that its virtual
         completion time is known."""
         grants = self._grants.setdefault(decision.worker, [])
-        bisect.insort(grants, (end_time, decision.nbytes))
+        bisect.insort(grants, (end_time, decision.nbytes, decision.session))
 
 
 class MemoryPressure:
@@ -264,27 +312,41 @@ class MemoryPressure:
         self.cluster = cluster
         self.estimator = FootprintEstimator(config, meta, storage)
         self.admission = MemoryAdmission()
-        #: workers degraded to serial one-subtask-at-a-time execution by
-        #: the OOM ladder; sticky for the rest of the session.
-        self._degraded: set[str] = set()
+        #: session -> workers that session's OOM ladder degraded to
+        #: serial one-subtask-at-a-time execution; sticky for the rest of
+        #: the session. Scoped per tenant so one tenant's ladder never
+        #: serializes another's subtasks ("" is the private-cluster
+        #: scope, where every caller shares one set — the historical
+        #: behaviour).
+        self._degraded: dict[str, set[str]] = {}
         self._degraded_lock = threading.Lock()
 
-    def degrade(self, worker: str) -> bool:
-        """Mark a worker serialized; returns False if it already was."""
+    def degrade(self, worker: str, session: str = "") -> bool:
+        """Mark a worker serialized for ``session``; returns False if it
+        already was."""
         with self._degraded_lock:
-            if worker in self._degraded:
+            degraded = self._degraded.setdefault(session, set())
+            if worker in degraded:
                 return False
-            self._degraded.add(worker)
+            degraded.add(worker)
             return True
 
-    def is_degraded(self, worker: str) -> bool:
+    def is_degraded(self, worker: str, session: str = "") -> bool:
         with self._degraded_lock:
-            return worker in self._degraded
+            return worker in self._degraded.get(session, ())
+
+    def drop_session(self, session: str) -> None:
+        """Forget a closed tenant's degraded-worker set."""
+        with self._degraded_lock:
+            self._degraded.pop(session, None)
 
     @property
     def degraded_workers(self) -> set[str]:
         with self._degraded_lock:
-            return set(self._degraded)
+            out: set[str] = set()
+            for workers in self._degraded.values():
+                out |= workers
+            return out
 
     def freest_worker(self) -> str:
         """The worker with the most available budget (deterministic
@@ -294,7 +356,8 @@ class MemoryPressure:
             key=lambda t: (-(t.limit - t.used), t.worker),
         ).worker
 
-    def dispatch_gate(self, order: list[Subtask]) -> "DispatchGate":
+    def dispatch_gate(self, order: list[Subtask],
+                      session: str = "") -> "DispatchGate":
         """A wall-clock gate for one stage, with estimates snapshotted
         on the accounting thread before the band runner starts."""
         estimates = {s.key: self.estimator.estimate(s) for s in order}
@@ -302,7 +365,7 @@ class MemoryPressure:
             name: tracker.limit
             for name, tracker in self.cluster.memory.items()
         }
-        return DispatchGate(estimates, limits, self)
+        return DispatchGate(estimates, limits, self, session)
 
 
 class DispatchGate:
@@ -317,10 +380,11 @@ class DispatchGate:
     """
 
     def __init__(self, estimates: dict[str, int], limits: dict[str, int],
-                 pressure: MemoryPressure):
+                 pressure: MemoryPressure, session: str = ""):
         self._estimates = estimates
         self._limits = limits
         self._pressure = pressure
+        self._session = session
         self._inflight_bytes: dict[str, int] = {}
         self._inflight_count: dict[str, int] = {}
         self._lock = threading.Lock()
@@ -335,7 +399,7 @@ class DispatchGate:
             count = self._inflight_count.get(worker, 0)
             if count == 0:
                 pass  # idle-worker guard: always admit
-            elif self._pressure.is_degraded(worker):
+            elif self._pressure.is_degraded(worker, self._session):
                 return False
             elif limit is not None and (
                 self._inflight_bytes.get(worker, 0) + estimate > limit

@@ -1,17 +1,30 @@
 """Sessions: the thin client over one session's deployed service plane.
 
-``Session`` owns only the cluster and actor refs: every engine service —
-meta, storage, shuffle, scheduling, lifecycle, the per-band subtask
-runners — is an actor created by :func:`repro.services.deploy_services`
-on the supervisor/worker pools, and a supervisor-side
-:class:`SessionActor` coordinates each run (tiling, execution, the
-memory-aware re-tile loop, fetch assembly).  User-facing ``repr`` of a
-distributed DataFrame/Tensor triggers ``execute`` behind the scenes
-("deferred evaluation", Section IV-C): lazy until looked at.
+``Session`` owns only actor refs: every engine service — meta, storage,
+shuffle, scheduling, lifecycle, the per-band subtask runners — is an
+actor created by :func:`repro.services.deploy_cluster_services` on the
+supervisor/worker pools, and a supervisor-side :class:`SessionActor`
+coordinates each run (tiling, execution, the memory-aware re-tile loop,
+fetch assembly).  User-facing ``repr`` of a distributed DataFrame/Tensor
+triggers ``execute`` behind the scenes ("deferred evaluation", Section
+IV-C): lazy until looked at.
+
+Multi-tenant serving: a session either *owns* its cluster (the classic
+one-user shape — it builds a :class:`ClusterState` and tears it down on
+close) or *attaches* to a shared one (``Session(cfg, cluster=shared)``).
+On a shared cluster the service plane is a set of cluster-scoped
+singletons deployed once; each session adds only its own
+:class:`SessionActor`, executes under a session key namespace (runtime
+chunk/shuffle keys become ``session-N/c-00000042`` so tenants can never
+collide in storage or shuffle accounting), serializes stage accounting
+through the scheduling service's weighted fair-share turnstile, and
+scopes its faults, OOM degradation, lifecycle refcounts and cache
+invalidation to itself.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -25,7 +38,8 @@ from ..frame import DataFrame, Series, concat
 from ..graph.dag import DAG
 from ..graph.entity import TileableData
 from ..services import session_actor_uid
-from ..services.deploy import ServiceHandles, deploy_services
+from ..services.deploy import ServiceHandles, deploy_cluster_services
+from ..utils import key_namespace
 from .executor import GraphExecutor
 from .pruning import prune_columns
 from .tiler import TilingEngine, build_tileable_graph
@@ -78,12 +92,14 @@ class SessionActor(Actor):
     """
 
     def __init__(self, session_id: str, cluster: ClusterState,
-                 config: Config, services: ServiceHandles):
+                 config: Config, services: ServiceHandles,
+                 owns_cluster: bool = True):
         super().__init__()
         self.session_id = session_id
         self.cluster = cluster
         self.config = config
         self.services = services
+        self.owns_cluster = owns_cluster
         self.executor = GraphExecutor(
             cluster, services.storage, services.meta, config,
             scheduler=services.scheduling, shuffle=services.shuffle,
@@ -91,6 +107,14 @@ class SessionActor(Actor):
             runners=dict(services.runners),
         )
         self.executor.session_id = session_id
+        if not owns_cluster:
+            # shared plane: per-session frontier/turnstile execution and
+            # a per-session fault injector — one tenant's seeded chaos
+            # draws (and losses) never touch a neighbour.
+            from .recovery import FaultInjector
+
+            self.executor.multi_tenant = True
+            self.executor.faults = FaultInjector(config.faults)
         self.tiler = TilingEngine(self.executor, services.meta, config)
         self.executed_tileables: list[str] = []
         self.last_report = RunReport()
@@ -108,14 +132,31 @@ class SessionActor(Actor):
     def get_tiler(self) -> TilingEngine:
         return self.tiler
 
+    def get_faults(self):
+        """This session's fault injector (the cluster's when owned)."""
+        return self.executor._injector()
+
     def get_last_report(self) -> RunReport:
         return self.last_report
 
     # -- run coordination ----------------------------------------------
     def execute_tileables(self, tileables: Sequence[TileableData],
                           parallel: bool | None = None) -> list[Any]:
+        if self.owns_cluster:
+            return self._execute_tileables(tileables, parallel)
+        # session key namespace: every runtime key minted while tiling
+        # and executing (chunk keys, shuffle ids, subtask keys) carries
+        # this session's prefix, so tenants sharing storage/shuffle/LRU
+        # state cannot collide. Structural identities strip the prefix,
+        # keeping the shared result cache session-stable.
+        with key_namespace(f"{self.session_id}/"):
+            return self._execute_tileables(tileables, parallel)
+
+    def _execute_tileables(self, tileables: Sequence[TileableData],
+                           parallel: bool | None = None) -> list[Any]:
         storage = self.services.storage
-        t0 = self.cluster.clock.makespan
+        t0 = (self.cluster.clock.makespan if self.owns_cluster
+              else self.executor.frontier)
         transfer0 = storage.transferred_bytes()
         spill0 = storage.spilled_bytes()
         yields0 = self.tiler.yield_count
@@ -188,8 +229,10 @@ class SessionActor(Actor):
         # terminal chunks must land in this run's recovery accounting.
         values = [self.fetch_tileable(t) for t in tileables]
 
+        makespan = (self.cluster.clock.makespan - t0 if self.owns_cluster
+                    else self.executor.frontier - t0)
         self.last_report = RunReport(
-            makespan=self.cluster.clock.makespan - t0,
+            makespan=makespan,
             transferred_bytes=storage.transferred_bytes() - transfer0,
             shuffle_bytes=self.executor.report.total_shuffle_bytes - shuffle0,
             combine_dropped_rows=(
@@ -237,7 +280,9 @@ class SessionActor(Actor):
         and every chunk this attempt stored is dropped from storage,
         shuffle registry and scheduler placement. Tileables that were
         already tiled before the call (prior executes) keep their chunks
-        and their stored data — re-tiling must not invalidate them.
+        and their stored data — re-tiling must not invalidate them.  On
+        a shared cluster only this session's keys qualify: chunks other
+        tenants stored while this attempt ran are not "new" to it.
         """
         for node in graph.nodes():
             if node.key in pretiled or not node.is_tiled:
@@ -245,17 +290,27 @@ class SessionActor(Actor):
             node.chunks = []
             node.nsplits = ()
         storage = self.services.storage
+        prefix = None if self.owns_cluster else f"{self.session_id}/"
         dropped = [
-            key for key in storage.all_keys() if key not in stored_before
+            key for key in storage.all_keys()
+            if key not in stored_before
+            and (prefix is None or key.startswith(prefix))
         ]
-        if dropped and self.config.result_cache:
-            # re-tiling regenerates these chunks under new keys — any
-            # cache entry recorded on them (or on top of them) is stale.
-            self.services.lifecycle.invalidate_cached(dropped)
-        for key in dropped:
-            storage.delete(key)
-            self.services.shuffle.forget_key(key)
-            self.services.scheduling.forget_chunk(key)
+        self.executor.acquire_turn()
+        try:
+            if dropped and self.config.result_cache:
+                # re-tiling regenerates these chunks under new keys — any
+                # cache entry recorded on them (or on top of them) is
+                # stale.
+                scope = None if self.owns_cluster else self.session_id
+                self.services.lifecycle.invalidate_cached(
+                    dropped, session=scope)
+            for key in dropped:
+                storage.delete(key)
+                self.services.shuffle.forget_key(key)
+                self.services.scheduling.forget_chunk(key)
+        finally:
+            self.executor.release_turn()
 
     # ------------------------------------------------------------------
     def fetch_tileable(self, tileable: TileableData) -> Any:
@@ -283,15 +338,44 @@ class SessionActor(Actor):
     def free_tileable(self, tileable: TileableData) -> None:
         """Drop a tileable's cached chunk data (it can be recomputed)."""
         keys = [chunk.key for chunk in tileable.chunks]
-        if keys and self.config.result_cache:
-            self.services.lifecycle.invalidate_cached(keys)
-        for key in keys:
-            self.services.storage.delete(key)
+        self.executor.acquire_turn()
+        try:
+            if keys and self.config.result_cache:
+                scope = None if self.owns_cluster else self.session_id
+                self.services.lifecycle.invalidate_cached(
+                    keys, session=scope)
+            for key in keys:
+                self.services.storage.delete(key)
+        finally:
+            self.executor.release_turn()
 
     def reset_metrics(self) -> None:
         """Fresh virtual clocks and counters (used between benchmark runs)."""
-        self.cluster.reset_clock()
+        if self.owns_cluster:
+            self.cluster.reset_clock()
         self.executor.chunk_ready_at.clear()
+        self.executor.frontier = 0.0
+
+    def teardown_shared(self) -> None:
+        """Detach from a shared cluster without touching neighbours.
+
+        Deletes this session's stored chunks — except ones the shared
+        result cache points at, which stay behind as warm cross-tenant
+        state — and drops its scoped service state (lifecycle scope,
+        degraded-worker set, fair-share registration).
+        """
+        prefix = f"{self.session_id}/"
+        protected = set(self.services.lifecycle.cache_protected())
+        own = [
+            key for key in self.services.storage.all_keys()
+            if key.startswith(prefix) and key not in protected
+        ]
+        for key in own:
+            self.services.storage.delete(key)
+            self.services.shuffle.forget_key(key)
+            self.services.scheduling.forget_chunk(key)
+        self.services.lifecycle.drop_session(self.session_id)
+        self.services.scheduling.unregister_tenant(self.session_id)
 
 
 class Session:
@@ -302,27 +386,88 @@ class Session:
     :class:`~repro.actors.ActorRef` handles to the deployed service
     plane, and all run coordination lives in the supervisor-side
     :class:`SessionActor` behind ``_actor_ref``.
+
+    ``cluster=`` attaches the session to an existing shared cluster
+    instead of building a private one; ``tenant_weight`` and
+    ``tenant_memory_quota`` override the config's fair-share knobs for
+    this tenant.
     """
 
     _counter = 0
+    _counter_lock = threading.Lock()
 
-    def __init__(self, config: Config | None = None):
-        self.config = config if config is not None else default_config()
-        self.cluster = ClusterState(self.config)
-        services = deploy_services(self.cluster, self.config)
+    def __init__(self, config: Config | None = None,
+                 cluster: ClusterState | None = None, *,
+                 tenant_weight: float | None = None,
+                 tenant_memory_quota: float | None = None):
+        self._owns_cluster = cluster is None
+        if self._owns_cluster:
+            self.config = config if config is not None else default_config()
+            self.cluster = ClusterState(self.config)
+        else:
+            # attaching tenants get a private config copy: the re-tile
+            # loop mutates chunk_store_limit and the tenant knobs are
+            # per-session, but the cluster shape stays the plane's.
+            base = config if config is not None else cluster.config
+            self.config = base.copy()
+            self.cluster = cluster
+        overrides = {}
+        if tenant_weight is not None:
+            overrides["tenant_weight"] = float(tenant_weight)
+        if tenant_memory_quota is not None:
+            overrides["tenant_memory_quota"] = float(tenant_memory_quota)
+        if overrides:
+            self.config = self.config.copy(**overrides)
+        services = deploy_cluster_services(
+            self.cluster, self.config if self._owns_cluster else None)
         self.storage = services.storage
         self.meta = services.meta
         self.scheduler = services.scheduling
         self.shuffle = services.shuffle
         self.lifecycle = services.lifecycle
         self.cache = services.cache
-        Session._counter += 1
-        self.session_id = f"session-{Session._counter}"
+        # atomic id allocation: sessions are created from many threads
+        # on a shared cluster, and `session-{N}` ids must never collide
+        # (they namespace every runtime key).
+        with Session._counter_lock:
+            Session._counter += 1
+            count = Session._counter
+        self.session_id = f"session-{count}"
+        if not self._owns_cluster:
+            self.scheduler.register_tenant(
+                self.session_id,
+                float(getattr(self.config, "tenant_weight", 1.0)))
         self._actor_ref = self.cluster.actor_system.create_actor(
             SUPERVISOR_ADDRESS, SessionActor, self.session_id, self.cluster,
-            self.config, services, uid=session_actor_uid(self.session_id),
+            self.config, services, owns_cluster=self._owns_cluster,
+            uid=session_actor_uid(self.session_id),
         )
         self.closed = False
+        #: close/execute coordination: close() waits for in-flight runs
+        #: instead of destroying the session actor under them.
+        self._closing = False
+        self._active_calls = 0
+        self._state_cond = threading.Condition(threading.Lock())
+
+    @property
+    def owns_cluster(self) -> bool:
+        return self._owns_cluster
+
+    # -- in-flight call tracking ----------------------------------------
+    def _begin_call(self, what: str) -> None:
+        with self._state_cond:
+            if self.closed or self._closing:
+                raise SessionError(
+                    f"session {self.session_id} is closed"
+                    if self.closed else
+                    f"session {self.session_id} is closing; {what} rejected"
+                )
+            self._active_calls += 1
+
+    def _end_call(self) -> None:
+        with self._state_cond:
+            self._active_calls -= 1
+            self._state_cond.notify_all()
 
     # -- coordinator state (read through the session actor) -------------
     @property
@@ -332,6 +477,11 @@ class Session:
     @property
     def tiler(self) -> TilingEngine:
         return self._actor_ref.get_tiler()
+
+    @property
+    def faults(self):
+        """This session's fault injector (scoped on shared clusters)."""
+        return self._actor_ref.get_faults()
 
     @property
     def last_report(self) -> RunReport:
@@ -348,26 +498,34 @@ class Session:
         (every stage's execute returns only after its accounting walk
         drained the band runner).
         """
-        if self.closed:
-            raise SessionError(f"session {self.session_id} is closed")
         if not tileables:
             raise ValueError("nothing to execute")
-        return self._actor_ref.execute_tileables(
-            list(tileables), parallel=parallel,
-        )
+        self._begin_call("execute")
+        try:
+            return self._actor_ref.execute_tileables(
+                list(tileables), parallel=parallel,
+            )
+        finally:
+            self._end_call()
 
     def fetch(self, tileable: TileableData) -> Any:
         """Assemble a materialized tileable's chunks into one value."""
-        if self.closed:
-            raise SessionError(f"session {self.session_id} is closed")
-        return self._actor_ref.fetch_tileable(tileable)
+        self._begin_call("fetch")
+        try:
+            return self._actor_ref.fetch_tileable(tileable)
+        finally:
+            self._end_call()
 
     def is_materialized(self, tileable: TileableData) -> bool:
         return self._actor_ref.is_materialized(tileable)
 
     def free(self, tileable: TileableData) -> None:
         """Drop a tileable's cached chunk data (it can be recomputed)."""
-        self._actor_ref.free_tileable(tileable)
+        self._begin_call("free")
+        try:
+            self._actor_ref.free_tileable(tileable)
+        finally:
+            self._end_call()
 
     def reset_metrics(self) -> None:
         """Fresh virtual clocks and counters (used between benchmark runs)."""
@@ -375,27 +533,45 @@ class Session:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Tear the session down: drop data, destroy actors, stop pools.
+        """Tear the session down — after any in-flight run finishes.
 
-        Idempotent — a second ``close`` (or ``__del__`` after an explicit
-        close) is a no-op, and a partially torn-down actor plane never
-        makes close raise.
+        Waits for active ``execute``/``fetch``/``free`` calls on other
+        threads instead of destroying the session actor mid-run; callers
+        arriving once closing has begun get a typed
+        :class:`SessionError` rather than a dispatcher crash.  Idempotent
+        — a second ``close`` (or ``__del__`` after an explicit close) is
+        a no-op, and a partially torn-down actor plane never makes close
+        raise.  A shared cluster is left running: only this session's
+        scoped state and stored chunks (minus shared cache entries) go.
         """
-        if self.closed:
-            return
-        self.closed = True
+        with self._state_cond:
+            if self.closed:
+                return
+            self._closing = True
+            while self._active_calls > 0:
+                self._state_cond.wait()
+            if self.closed:
+                return
+            self.closed = True
         system = self.cluster.actor_system
-        try:
-            self.storage.clear()
-        except ActorError:
-            pass  # pools already stopped by an outside shutdown
+        if self._owns_cluster:
+            try:
+                self.storage.clear()
+            except ActorError:
+                pass  # pools already stopped by an outside shutdown
+        else:
+            try:
+                self._actor_ref.teardown_shared()
+            except ActorError:
+                pass
         try:
             system.destroy_actor(
                 SUPERVISOR_ADDRESS, session_actor_uid(self.session_id),
             )
         except ActorError:
             pass
-        self.cluster.shutdown()
+        if self._owns_cluster:
+            self.cluster.shutdown()
 
     def __del__(self) -> None:
         try:
@@ -462,29 +638,42 @@ def assemble(kind: str, values: dict[tuple, Any]) -> Any:
 # ---------------------------------------------------------------------------
 
 _default_session: Session | None = None
+#: guards the module-global default session against concurrent
+#: ``init``/``get``/``stop`` — double-init from two threads must never
+#: leak a live actor plane or hand different callers different sessions.
+_default_session_lock = threading.Lock()
 
 
 def init_session(config: Config | None = None, **config_overrides) -> Session:
-    """Create and install the process-wide default session."""
+    """Create and install the process-wide default session.
+
+    Deterministic under repetition and concurrency: the previous default
+    (if any) is closed before the replacement is installed, and the
+    close-then-replace pair is atomic with respect to other callers.
+    """
     global _default_session
-    if _default_session is not None:
-        _default_session.close()
-    cfg = config if config is not None else default_config()
-    if config_overrides:
-        cfg = cfg.copy(**config_overrides)
-    _default_session = Session(cfg)
-    return _default_session
+    with _default_session_lock:
+        if _default_session is not None:
+            _default_session.close()
+            _default_session = None
+        cfg = config if config is not None else default_config()
+        if config_overrides:
+            cfg = cfg.copy(**config_overrides)
+        _default_session = Session(cfg)
+        return _default_session
 
 
 def get_default_session() -> Session:
     global _default_session
-    if _default_session is None:
-        _default_session = Session(default_config())
-    return _default_session
+    with _default_session_lock:
+        if _default_session is None:
+            _default_session = Session(default_config())
+        return _default_session
 
 
 def stop_session() -> None:
     global _default_session
-    if _default_session is not None:
-        _default_session.close()
-        _default_session = None
+    with _default_session_lock:
+        if _default_session is not None:
+            _default_session.close()
+            _default_session = None

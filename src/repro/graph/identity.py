@@ -33,9 +33,12 @@ from typing import Any, Callable, Iterable, Optional
 import numpy as np
 
 #: process-global runtime keys produced by ``utils.new_key``:
-#: ``<prefix>-<8 digits>``. They differ across sessions for the same
-#: program, so canonicalization replaces them with their prefix.
-_RUNTIME_KEY_RE = re.compile(r"^[a-z]+-\d{8}$")
+#: ``<prefix>-<8 digits>``, optionally under a session key namespace
+#: (``session-3/c-00000042``). They differ across sessions for the same
+#: program, so canonicalization replaces them with their bare prefix —
+#: the namespace is stripped too, keeping identities session-stable
+#: (cross-tenant cache hits depend on this).
+_RUNTIME_KEY_RE = re.compile(r"^(?:[\w.-]+/)*[a-z]+-\d{8}$")
 
 #: default ``repr`` of address-carrying objects — opaque, uncacheable.
 _ADDR_RE = re.compile(r" at 0x[0-9a-fA-F]+")
@@ -174,7 +177,7 @@ def canonical_param(value: Any, _fingerprints: dict | None = None) -> Any:
         return ("lit", repr(value))
     if isinstance(value, str):
         if _RUNTIME_KEY_RE.match(value):
-            return ("rtkey", value.split("-", 1)[0])
+            return ("rtkey", value.rsplit("/", 1)[-1].split("-", 1)[0])
         return ("lit", value)
     if isinstance(value, np.dtype):
         return ("dtype", str(value))

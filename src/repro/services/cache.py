@@ -179,15 +179,25 @@ class ResultCacheService:
         self._by_chunk.pop(entry.chunk_key, None)
 
     # -- invalidation ------------------------------------------------------
-    def invalidate_chunks(self, chunk_keys: Iterable[str]) -> list[str]:
+    def invalidate_chunks(self, chunk_keys: Iterable[str],
+                          scope_session: Optional[str] = None) -> list[str]:
         """A chunk's bytes are gone or changed: drop dependents too.
 
         Every entry whose identity *is* one of the lost chunks' — or
         whose ancestor set contains one — is removed. Returns the chunk
         keys of all dropped entries so lifecycle can unprotect them.
+
+        ``scope_session`` limits the *transitive* part of the walk to one
+        tenant's entries: an entry pointing directly at a lost chunk is
+        always dropped (its bytes are gone), but downstream dependents
+        belonging to other tenants keep their entries — their values are
+        already materialized under their own chunk keys, so like budget
+        eviction this loses reuse, never correctness.  ``None`` drops
+        dependents regardless of owner (the private-cluster behaviour).
         """
+        lost_keys = set(chunk_keys)
         lost_idents = set()
-        for key in chunk_keys:
+        for key in lost_keys:
             known = self._known.pop(key, None)
             if known is not None:
                 lost_idents.add(known[0])
@@ -199,12 +209,19 @@ class ResultCacheService:
         dropped: list[str] = []
         for ident in list(self._entries):
             entry = self._entries[ident]
+            if entry.chunk_key not in lost_keys and scope_session is not None \
+                    and entry.session != scope_session:
+                continue
             if ident in lost_idents or (entry.deps & lost_idents):
                 dropped.append(entry.chunk_key)
                 self._forget(ident)
                 self.stats.invalidations += 1
         # boundary bindings downstream of the loss are stale too.
+        scope_prefix = (f"{scope_session}/"
+                        if scope_session else None)
         for key in list(self._known):
+            if scope_prefix is not None and not key.startswith(scope_prefix):
+                continue
             ident, deps = self._known[key]
             if ident in lost_idents or (deps & lost_idents):
                 del self._known[key]

@@ -49,6 +49,23 @@ class ServiceHandles:
     runners: dict[str, Any] = field(default_factory=dict)
 
 
+def deploy_cluster_services(cluster: ClusterState,
+                            config: Config | None = None) -> ServiceHandles:
+    """The cluster's service plane, deployed once and memoized.
+
+    The services are cluster-scoped singletons: the first session on a
+    cluster stands them up (with that session's config), every later
+    session attaches to the same handles.  This is what makes N
+    concurrent sessions share one Meta/Storage/Shuffle/Scheduling/
+    Cache/Lifecycle plane instead of each owning a private copy.
+    """
+    with cluster.services_lock:
+        if cluster.services is None:
+            cluster.services = deploy_services(
+                cluster, config if config is not None else cluster.config)
+        return cluster.services
+
+
 def deploy_services(cluster: ClusterState, config: Config) -> ServiceHandles:
     """Stand up the full service plane on ``cluster``'s pools.
 
@@ -110,7 +127,9 @@ def deploy_services(cluster: ClusterState, config: Config) -> ServiceHandles:
         for band in cluster.bands
     }
 
-    return ServiceHandles(
+    handles = ServiceHandles(
         meta=meta, storage=storage, scheduling=scheduling,
         lifecycle=lifecycle, shuffle=shuffle, cache=cache, runners=runners,
     )
+    cluster.services = handles
+    return handles

@@ -7,6 +7,12 @@ release, and the :class:`~repro.core.recovery.RecoveryManager` lineage
 registry.  Frees go out through the service's own storage/shuffle
 handles, so the message trace shows ``service/lifecycle ->
 service/storage`` for every refcount-driven delete.
+
+Stage state (consumer counts, retained keys) is scoped per session: on a
+shared cluster N tenants run interleaved stages, and tenant A's
+``begin_stage`` must not clobber tenant B's live refcounts.  The empty
+session ``""`` is the private-cluster scope — single-session callers
+never notice the scoping.
 """
 
 from __future__ import annotations
@@ -15,6 +21,16 @@ from collections import defaultdict
 
 from ..core.recovery import RecoveryManager
 from .base import ServiceActor
+
+
+class _StageScope:
+    """One session's active-stage refcount state."""
+
+    __slots__ = ("consumers", "retain")
+
+    def __init__(self):
+        self.consumers: defaultdict[str, int] = defaultdict(int)
+        self.retain: set[str] = set()
 
 
 class LifecycleService:
@@ -27,14 +43,24 @@ class LifecycleService:
         self._cache = cache
         self._recovery = RecoveryManager()
         #: chunk key -> is a tileable-boundary (user-visible) chunk;
-        #: persisted across stages like the executor's old field.
+        #: persisted across stages like the executor's old field. Keys
+        #: are session-prefixed on a shared cluster, so one flat dict is
+        #: collision-free.
         self._terminal: dict[str, bool] = {}
-        #: active stage's remaining-consumer counts and retained keys.
-        self._consumers: defaultdict[str, int] = defaultdict(int)
-        self._retain: set[str] = set()
+        #: session -> that session's active-stage scope.
+        self._scopes: dict[str, _StageScope] = {"": _StageScope()}
         #: chunk keys the result cache points at — exempt from
         #: refcount-driven frees until evicted or invalidated.
         self._cache_protected: set[str] = set()
+
+    def _scope(self, session: str) -> _StageScope:
+        scope = self._scopes.get(session)
+        if scope is None:
+            scope = self._scopes[session] = _StageScope()
+        return scope
+
+    def _retained_anywhere(self, key: str) -> bool:
+        return any(key in scope.retain for scope in self._scopes.values())
 
     # -- stage refcounting -------------------------------------------------
     def register_terminals(self, terminal_by_key: dict[str, bool]) -> None:
@@ -43,12 +69,14 @@ class LifecycleService:
     def is_terminal(self, key: str) -> bool:
         return self._terminal.get(key, False)
 
-    def begin_stage(self, consumers: dict[str, int], retain) -> None:
+    def begin_stage(self, consumers: dict[str, int], retain,
+                    session: str = "") -> None:
         """Install one stage's consumer counts and protected keys."""
-        self._consumers = defaultdict(int, consumers)
-        self._retain = set(retain)
+        scope = self._scope(session)
+        scope.consumers = defaultdict(int, consumers)
+        scope.retain = set(retain)
 
-    def release_consumed(self, input_keys) -> list[str]:
+    def release_consumed(self, input_keys, session: str = "") -> list[str]:
         """One subtask consumed ``input_keys``; free what dropped to zero.
 
         Eager engines (``eager_release=False``) pin user-visible
@@ -57,10 +85,11 @@ class LifecycleService:
         reference counting.  Returns the freed keys.
         """
         eager = bool(self._config.eager_release) if self._config else False
+        scope = self._scope(session)
         freed: list[str] = []
         for key in input_keys:
-            self._consumers[key] -= 1
-            if self._consumers[key] <= 0 and key not in self._retain:
+            scope.consumers[key] -= 1
+            if scope.consumers[key] <= 0 and key not in scope.retain:
                 if key in self._cache_protected:
                     continue
                 if eager or not self._terminal.get(key, False):
@@ -73,16 +102,25 @@ class LifecycleService:
                 self._shuffle.forget_keys(freed)
         return freed
 
-    def finish_subtask(self, subtask) -> list[str]:
+    def finish_subtask(self, subtask, session: str = "") -> list[str]:
         """One message for a subtask's whole lifecycle epilogue.
 
         Releases the consumer refcounts its inputs held (freeing what
         dropped to zero) and records its lineage; returns the freed
         keys.
         """
-        freed = self.release_consumed(subtask.input_keys)
+        freed = self.release_consumed(subtask.input_keys, session)
         self._recovery.record(subtask)
         return freed
+
+    def drop_session(self, session: str) -> None:
+        """A tenant closed: discard its stage scope and terminal flags."""
+        if not session:
+            return
+        self._scopes.pop(session, None)
+        prefix = f"{session}/"
+        for key in [k for k in self._terminal if k.startswith(prefix)]:
+            del self._terminal[key]
 
     # -- result cache ------------------------------------------------------
     def cache_record(self, entries, session_id: str = "") -> list[str]:
@@ -92,7 +130,7 @@ class LifecycleService:
         tuples. Newly cached chunks become protected from refcount
         frees; chunks the cache evicted for budget lose protection and
         — under eager-release semantics — are deleted outright unless
-        the active stage still retains them.
+        an active stage still retains them.
         """
         if self._cache is None:
             return []
@@ -102,15 +140,20 @@ class LifecycleService:
             self._cache_protected.add(chunk_key)
         return self._unprotect(evicted)
 
-    def invalidate_cached(self, chunk_keys) -> list[str]:
+    def invalidate_cached(self, chunk_keys, session=None) -> list[str]:
         """Chunk bytes vanished or changed: drop dependent cache entries.
 
+        ``session`` scopes the *transitive* part of the invalidation to
+        one tenant's entries (see ``ResultCacheService.invalidate_chunks``)
+        — another tenant's still-valid entries survive tenant-local
+        chunk loss or ``free()``.  ``None`` keeps the unscoped walk.
         Returns the chunk keys whose entries were dropped (their values,
         where still stored, become ordinary freeable intermediates).
         """
         if self._cache is None:
             return []
-        dropped = self._cache.invalidate_chunks(list(chunk_keys))
+        dropped = self._cache.invalidate_chunks(
+            list(chunk_keys), scope_session=session)
         return self._unprotect(dropped)
 
     def _unprotect(self, chunk_keys) -> list[str]:
@@ -121,7 +164,7 @@ class LifecycleService:
         deletable: list[str] = []
         for key in chunk_keys:
             self._cache_protected.discard(key)
-            if eager and key not in self._retain:
+            if eager and not self._retained_anywhere(key):
                 deletable.append(key)
         if deletable:
             missing = set(self._storage.missing_keys(deletable))
@@ -158,6 +201,7 @@ class LifecycleActor(ServiceActor):
         "begin_stage",
         "release_consumed",
         "finish_subtask",
+        "drop_session",
         "cache_record",
         "invalidate_cached",
         "cache_protected",

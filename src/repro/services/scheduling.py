@@ -1,4 +1,4 @@
-"""The scheduling service: placement plus memory-aware admission.
+"""The scheduling service: placement, admission, and the tenant turnstile.
 
 Combines the :class:`~repro.core.scheduler.Scheduler` (band placement
 and load accounting) with the :class:`~repro.core.memory_control`
@@ -8,21 +8,130 @@ supervisor-side scheduling service owns.  The
 :class:`GraphExecutor` talks to this service (directly or through a
 :class:`SchedulingActor` ref) instead of reaching into scheduler or
 pressure internals.
+
+On a shared cluster the service additionally owns the **fair-share
+turnstile** (:class:`FairShareQueue`): concurrent sessions serialize
+their *stage accounting* through it in weighted stride order, so N
+tenant threads interleave at stage granularity — a weight-2 tenant gets
+stage turns twice as often as a weight-1 tenant — while each stage's
+deterministic accounting walk runs unshared.
 """
 
 from __future__ import annotations
+
+import threading
 
 from ..core.memory_control import MemoryPressure
 from ..core.scheduler import Scheduler
 from .base import ServiceActor
 
 
+class FairShareQueue:
+    """Weighted fair-share turnstile over shared-plane stage grants.
+
+    Stride scheduling: each tenant carries a *pass* value advanced by
+    ``1 / weight`` per granted turn; among waiting tenants the lowest
+    pass (ties broken by arrival order) goes next. With ``fair_share``
+    off, grants degrade to plain FIFO arrival order.
+
+    The holder may re-enter (``acquire`` is reentrant per tenant with a
+    depth count) — fetch-time recovery runs ``execute`` inside an
+    already-held turn.
+    """
+
+    def __init__(self, fair_share: bool = True):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._fair_share = fair_share
+        #: tenant -> (weight, pass value)
+        self._tenants: dict[str, list[float]] = {}
+        self._global_pass = 0.0
+        self._arrivals = 0
+        #: tenant -> arrival seq, set while waiting.
+        self._waiting: dict[str, int] = {}
+        self._holder: str | None = None
+        self._depth = 0
+        self.turns_granted: dict[str, int] = {}
+
+    def register(self, session: str, weight: float = 1.0) -> None:
+        with self._lock:
+            weight = max(float(weight), 1e-9)
+            # late joiners start at the current pass front, not at zero —
+            # otherwise a fresh tenant would monopolize the turnstile
+            # until it caught up with everyone's accumulated pass.
+            self._tenants[session] = [weight, self._global_pass]
+
+    def unregister(self, session: str) -> None:
+        with self._lock:
+            self._tenants.pop(session, None)
+            self._waiting.pop(session, None)
+            self._cond.notify_all()
+
+    def _next_in_line(self) -> str | None:
+        if not self._waiting:
+            return None
+        if not self._fair_share:
+            return min(self._waiting, key=self._waiting.__getitem__)
+        return min(
+            self._waiting,
+            key=lambda s: (self._tenants.get(s, [1.0, 0.0])[1],
+                           self._waiting[s]),
+        )
+
+    def acquire(self, session: str) -> None:
+        """Block until it is ``session``'s turn; reentrant for the holder."""
+        with self._lock:
+            if self._holder == session:
+                self._depth += 1
+                return
+            self._waiting[session] = self._arrivals
+            self._arrivals += 1
+            self._cond.notify_all()
+            while not (self._holder is None
+                       and self._next_in_line() == session):
+                self._cond.wait()
+            del self._waiting[session]
+            self._holder = session
+            self._depth = 1
+            entry = self._tenants.get(session)
+            if entry is not None:
+                entry[1] += 1.0 / entry[0]
+                self._global_pass = max(self._global_pass, entry[1])
+            self.turns_granted[session] = (
+                self.turns_granted.get(session, 0) + 1)
+
+    def release(self, session: str) -> None:
+        with self._lock:
+            if self._holder != session:
+                return
+            self._depth -= 1
+            if self._depth <= 0:
+                self._holder = None
+                self._depth = 0
+                self._cond.notify_all()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "tenants": {
+                    s: {"weight": w, "pass": p}
+                    for s, (w, p) in self._tenants.items()
+                },
+                "waiting": len(self._waiting),
+                "holder": self._holder,
+                "turns_granted": dict(self.turns_granted),
+                "fair_share": self._fair_share,
+            }
+
+
 class SchedulingService:
     """Band placement + band-load accounting + memory admission."""
 
-    def __init__(self, scheduler: Scheduler, pressure: MemoryPressure):
+    def __init__(self, scheduler: Scheduler, pressure: MemoryPressure,
+                 fair_share: bool = True):
         self._scheduler = scheduler
         self._pressure = pressure
+        self._turnstile = FairShareQueue(fair_share)
 
     @classmethod
     def create(cls, cluster, config, meta, storage,
@@ -34,7 +143,8 @@ class SchedulingService:
         """
         if scheduler is None:
             scheduler = Scheduler(cluster, config)
-        return cls(scheduler, MemoryPressure(config, cluster, meta, storage))
+        return cls(scheduler, MemoryPressure(config, cluster, meta, storage),
+                   fair_share=getattr(config, "fair_share", True))
 
     # -- placement ---------------------------------------------------------
     def assign(self, subtask_graph, input_nbytes) -> None:
@@ -52,16 +162,35 @@ class SchedulingService:
     def forget_chunk(self, key: str) -> None:
         self._scheduler.forget_chunk(key)
 
+    # -- fair-share turnstile ----------------------------------------------
+    def register_tenant(self, session: str, weight: float = 1.0) -> None:
+        self._turnstile.register(session, weight)
+
+    def unregister_tenant(self, session: str) -> None:
+        self._turnstile.unregister(session)
+        self._pressure.drop_session(session)
+
+    def acquire_turn(self, session: str) -> None:
+        self._turnstile.acquire(session)
+
+    def release_turn(self, session: str) -> None:
+        self._turnstile.release(session)
+
+    def fair_share_snapshot(self) -> dict:
+        return self._turnstile.snapshot()
+
     # -- memory admission --------------------------------------------------
-    def begin_stage(self) -> None:
-        self._pressure.admission.begin_stage()
+    def begin_stage(self, base: float | None = None) -> None:
+        self._pressure.admission.begin_stage(base)
 
     def admit(self, worker: str, request: int, ready_time: float,
               used: int, limit: int, allow_wait: bool = True,
-              exclusive: bool = False):
+              exclusive: bool = False, session: str = "",
+              quota: int | None = None):
         return self._pressure.admission.admit(
             worker, request, ready_time, used, limit,
             allow_wait=allow_wait, exclusive=exclusive,
+            session=session, quota=quota,
         )
 
     def commit_grant(self, decision, end: float) -> None:
@@ -76,7 +205,8 @@ class SchedulingService:
     # -- per-subtask composites --------------------------------------------
     def admit_subtask(self, subtask, worker: str, working_set: int,
                       ready_time: float, used: int, limit: int,
-                      allow_wait: bool = True):
+                      allow_wait: bool = True, session: str = "",
+                      quota: int | None = None):
         """One message for the executor's whole admission round-trip.
 
         Folds estimate → degraded-check → admit into a single call;
@@ -85,10 +215,11 @@ class SchedulingService:
         as the three separate calls computed it.
         """
         request = max(working_set, self._pressure.estimator.estimate(subtask))
-        exclusive = self._pressure.is_degraded(worker)
+        exclusive = self._pressure.is_degraded(worker, session)
         decision = self._pressure.admission.admit(
             worker, request, ready_time, used, limit,
             allow_wait=allow_wait, exclusive=exclusive,
+            session=session, quota=quota,
         )
         return decision, exclusive
 
@@ -104,17 +235,17 @@ class SchedulingService:
         self._scheduler.note_completed(subtask)
 
     # -- pressure state ----------------------------------------------------
-    def is_degraded(self, worker: str) -> bool:
-        return self._pressure.is_degraded(worker)
+    def is_degraded(self, worker: str, session: str = "") -> bool:
+        return self._pressure.is_degraded(worker, session)
 
-    def degrade(self, worker: str) -> None:
-        self._pressure.degrade(worker)
+    def degrade(self, worker: str, session: str = "") -> None:
+        self._pressure.degrade(worker, session)
 
     def freest_worker(self) -> str:
         return self._pressure.freest_worker()
 
-    def dispatch_gate(self, order):
-        return self._pressure.dispatch_gate(order)
+    def dispatch_gate(self, order, session: str = ""):
+        return self._pressure.dispatch_gate(order, session)
 
     # -- introspection -----------------------------------------------------
     def memory_pressure(self) -> MemoryPressure:
@@ -135,6 +266,11 @@ class SchedulingActor(ServiceActor):
         "reassign",
         "record_chunk",
         "forget_chunk",
+        "register_tenant",
+        "unregister_tenant",
+        "acquire_turn",
+        "release_turn",
+        "fair_share_snapshot",
         "begin_stage",
         "admit",
         "admit_subtask",

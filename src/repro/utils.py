@@ -2,18 +2,40 @@
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import math
+import threading
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
 _token_counter = itertools.count()
+_key_ns = threading.local()
 
 
 def new_key(prefix: str = "k") -> str:
-    """Return a process-unique key, e.g. for chunks and subtasks."""
-    return f"{prefix}-{next(_token_counter):08d}"
+    """Return a process-unique key, e.g. for chunks and subtasks.
+
+    When a key namespace is active on the calling thread (see
+    :func:`key_namespace`) the key is prefixed with it — sessions sharing
+    one cluster namespace their runtime keys (``session-3/c-00000042``)
+    so chunk/shuffle keys from different tenants can never collide in
+    storage, shuffle, or LRU accounting.
+    """
+    ns = getattr(_key_ns, "value", "")
+    return f"{ns}{prefix}-{next(_token_counter):08d}"
+
+
+@contextlib.contextmanager
+def key_namespace(ns: str):
+    """Prefix every ``new_key`` on this thread with ``ns`` (e.g. ``"s1/"``)."""
+    prev = getattr(_key_ns, "value", "")
+    _key_ns.value = ns
+    try:
+        yield
+    finally:
+        _key_ns.value = prev
 
 
 def tokenize(*parts: Any) -> str:
