@@ -6,14 +6,18 @@ decomposition (Fig. 1) without requiring real processes.
 """
 
 from .actor import Actor, ActorRef
-from .message import Message, MessageLog
+from .message import ChaosEvent, Message, MessageChaos, MessageLog
 from .pool import ActorPool, ActorSystem
+from .supervisor import Supervisor
 
 __all__ = [
     "Actor",
     "ActorPool",
     "ActorRef",
     "ActorSystem",
+    "ChaosEvent",
     "Message",
+    "MessageChaos",
     "MessageLog",
+    "Supervisor",
 ]

@@ -11,9 +11,9 @@ from __future__ import annotations
 import threading
 from typing import Any, Type
 
-from ..errors import ActorError
+from ..errors import ActorError, ActorNotFound
 from .actor import Actor, ActorRef
-from .message import Message, MessageLog
+from .message import Message, MessageChaos, MessageLog
 
 
 class ActorPool:
@@ -33,13 +33,13 @@ class ActorPool:
         try:
             return self._actors[uid]
         except KeyError:
-            raise ActorError(f"no actor {uid!r} on {self.address!r}") from None
+            raise ActorNotFound(self.address, uid) from None
 
     def remove(self, uid: str) -> Actor:
         try:
             return self._actors.pop(uid)
         except KeyError:
-            raise ActorError(f"no actor {uid!r} on {self.address!r}") from None
+            raise ActorNotFound(self.address, uid) from None
 
     def uids(self) -> list[str]:
         return list(self._actors)
@@ -57,6 +57,12 @@ class ActorSystem:
     def __init__(self):
         self._pools: dict[str, ActorPool] = {}
         self.log = MessageLog()
+        #: optional Supervisor: deliveries to a dead-but-supervised uid
+        #: restart the actor transparently instead of failing.
+        self.supervisor = None
+        #: optional MessageChaos: seeded drop/delay/duplicate faults on
+        #: token-carrying (mutating) messages. ``None``/zero rates = off.
+        self.chaos: MessageChaos | None = None
         #: per-thread delivery state: parallel band runners deliver
         #: concurrently with the accounting thread, so the "which actor
         #: is currently handling a message" marker must be thread-local —
@@ -109,11 +115,15 @@ class ActorSystem:
     def actor_ref(self, address: str, uid: str) -> ActorRef:
         pool = self.get_pool(address)
         if uid not in pool:
-            raise ActorError(f"no actor {uid!r} on {address!r}")
+            raise ActorNotFound(address, uid)
         return ActorRef(self, address, uid)
 
     def has_actor(self, address: str, uid: str) -> bool:
         return address in self._pools and uid in self._pools[address]
+
+    def kill_actor(self, address: str, uid: str) -> None:
+        """Remove an actor abruptly — no ``on_stop`` — simulating a crash."""
+        self.get_pool(address).remove(uid)
 
     # -- message delivery --------------------------------------------------------
     @property
@@ -133,9 +143,33 @@ class ActorSystem:
         """
         self._tls.sender_label = label
 
+    def _resolve(self, address: str, uid: str) -> Actor:
+        """Look up a delivery target, restarting supervised dead actors.
+
+        A ``destroy_actor``/``stop_pool``/kill racing an in-flight
+        ``deliver`` surfaces as the typed, retryable
+        :class:`~repro.errors.ActorNotFound` — unless the uid is
+        supervised, in which case the actor is respawned from
+        authoritative state and delivery proceeds as if nothing
+        happened.  A supervised uid with no restart budget left raises
+        :class:`~repro.errors.RestartStorm` instead: a crash loop must
+        crash loudly, not retry forever.
+        """
+        try:
+            try:
+                return self._pools[address].lookup(uid)
+            except KeyError:
+                raise ActorNotFound(address, uid, "pool is gone") from None
+        except ActorNotFound:
+            supervisor = self.supervisor
+            if supervisor is None or supervisor.address_of(uid) is None:
+                raise
+            supervisor.restart(uid)  # RestartStorm past the limit
+            return self.get_pool(address).lookup(uid)
+
     def deliver(self, address: str, uid: str, method: str,
                 args: tuple, kwargs: dict) -> Any:
-        actor = self.get_pool(address).lookup(uid)
+        actor = self._resolve(address, uid)
         handler = getattr(actor, method, None)
         if handler is None or not callable(handler):
             raise ActorError(f"actor {uid!r} has no method {method!r}")
@@ -146,8 +180,26 @@ class ActorSystem:
             sender = getattr(self._tls, "sender_label", None) or "<external>"
         self.log.record(Message(sender=sender, recipient=uid, method=method,
                                 args=args, kwargs=kwargs))
+        chaos = self.chaos
+        duplicated = False
+        if chaos is not None:
+            token = kwargs.get("dedup_token")
+            if token is not None and chaos.enabled:
+                # drops are absorbed by the at-least-once layer: the
+                # first transmission is consumed, the retransmission
+                # below is the delivery that reaches the endpoint.
+                # Delays keep synchronous RPC semantics (recorded only).
+                _, _, duplicated = chaos.plan(method, token)
         self._current_actor = actor
         try:
+            if duplicated:
+                # stray redelivery: the endpoint's dedup log makes the
+                # second application a no-op returning the memoized
+                # result, which is also what the caller sees.
+                self.log.record(Message(sender=sender, recipient=uid,
+                                        method=method, args=args,
+                                        kwargs=kwargs))
+                handler(*args, **kwargs)
             return handler(*args, **kwargs)
         finally:
             self._current_actor = current

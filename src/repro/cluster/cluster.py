@@ -44,6 +44,9 @@ class ClusterState:
         #: accounting walk (no-op unless config.faults sets a rate or a
         #: test scripts an injection point).
         self.faults = FaultInjector(config.faults)
+        #: actor-plane supervision (``SupervisionPlane``) — installed by
+        #: ``deploy_services`` alongside the service actors.
+        self.supervision = None
         self.actor_system = ActorSystem()
         self.actor_system.create_pool(SUPERVISOR_ADDRESS)
         for worker in self.workers:

@@ -90,6 +90,41 @@ class FaultSpec:
 
 
 @dataclass
+class MessageFaultSpec:
+    """Deterministic message-level chaos for the actor plane.
+
+    Rates are per-message probabilities in ``[0, 1]`` applied to mutating
+    service RPCs that carry a dedup token (``storage.put_many``,
+    ``shuffle.register_partitions``, ``lifecycle.finish_subtask``,
+    ``cache.record_many``). Draws hash the token — minted on the
+    deterministic accounting walk — through ``structural_draw``, never the
+    delivery order, so for one seed the same messages are dropped, delayed
+    and duplicated in serial, thread and process execution mode.
+
+    The delivery layer is at-least-once and the endpoints are idempotent:
+    a dropped message is retransmitted, a duplicated one is suppressed by
+    the endpoint's dedup log, so effective state transitions happen exactly
+    once and ``SimReport`` stays bit-identical to the fault-free run.
+    """
+
+    seed: int = 0
+    #: probability that a message's first transmission is dropped (the
+    #: at-least-once layer retransmits it).
+    drop_rate: float = 0.0
+    #: probability that a message is delivered late (recorded for the
+    #: chaos report; synchronous RPC semantics are preserved).
+    delay_rate: float = 0.0
+    #: probability that a message is delivered twice (the endpoint's
+    #: dedup token suppresses the second application).
+    duplicate_rate: float = 0.0
+
+    @property
+    def any_rate(self) -> bool:
+        return (self.drop_rate > 0.0 or self.delay_rate > 0.0
+                or self.duplicate_rate > 0.0)
+
+
+@dataclass
 class ClusterSpec:
     """Shape of the simulated cluster."""
 
@@ -229,6 +264,34 @@ class Config:
     #: order on the shared scheduling turnstile.
     fair_share: bool = True
 
+    # --- actor-plane supervision & chaos ------------------------------------
+    #: deterministic message-level chaos on the service actor plane (all
+    #: rates default to zero = off; goldens are untouched).
+    message_faults: MessageFaultSpec = field(default_factory=MessageFaultSpec)
+    #: virtual seconds between expected runner heartbeats; the health
+    #: monitor declares a runner dead after ``heartbeat_miss_limit``
+    #: missed beats. ``0`` disables liveness tracking.
+    heartbeat_interval: float = 1.0
+    heartbeat_miss_limit: int = 3
+    #: per-uid restart budget: the supervisor refuses to restart one actor
+    #: more than this many times (restart-storm limiting).
+    restart_limit: int = 5
+    #: speculative straggler re-execution: when a parallel-stage subtask
+    #: overruns its EWMA-derived deadline, dispatch a duplicate and commit
+    #: whichever finishes first on the accounting walk. Off by default —
+    #: it trades duplicate CPU for tail latency and only touches
+    #: wall-clock, never SimReport numbers.
+    speculation: bool = False
+    #: a subtask's deadline is ``multiplier * ewma(observed durations)``,
+    #: floored at ``speculation_min_seconds`` of wall-clock.
+    speculation_multiplier: float = 4.0
+    speculation_min_seconds: float = 0.2
+    #: wall-clock seconds per dispatcher watchdog window: the accounting
+    #: walk re-checks liveness at this period while blocked on a subtask
+    #: and raises ``DispatcherStall`` after two consecutive windows with
+    #: zero completions.
+    dispatch_watchdog_timeout: float = 60.0
+
     # --- cluster & costs ----------------------------------------------------
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     cost_model: CostModel = field(default_factory=CostModel)
@@ -254,6 +317,7 @@ class Config:
             cluster=dataclasses.replace(self.cluster),
             cost_model=dataclasses.replace(self.cost_model),
             faults=dataclasses.replace(self.faults),
+            message_faults=dataclasses.replace(self.message_faults),
         )
         for key, value in overrides.items():
             if not hasattr(new, key):

@@ -29,10 +29,11 @@ from __future__ import annotations
 import heapq
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
-from ..errors import DispatcherError
+from ..errors import DispatcherError, DispatcherStall
 from ..graph.dag import DAG
 from ..graph.subtask import Subtask
 
@@ -134,12 +135,21 @@ class BandDispatcher:
                  compute: Callable[[Subtask, dict[str, Any]], SubtaskComputation],
                  fetch: Callable[[list[str]], dict[str, Any]],
                  pool: ThreadPoolExecutor | None = None,
-                 gate=None):
+                 gate=None, watchdog: float = 60.0, speculation=None):
         self._graph = graph
         self._order = order
         self._compute = compute
         self._fetch = fetch
         self._pool = pool if pool is not None else shared_pool()
+        #: wall-clock seconds per liveness window
+        #: (``Config.dispatch_watchdog_timeout``): ``wait_for`` re-checks
+        #: progress at this period and raises :class:`DispatcherStall`
+        #: after two consecutive windows with zero completions.
+        self._watchdog = max(float(watchdog), 0.001)
+        #: optional ``SpeculationController``: running subtasks that
+        #: overrun their EWMA deadline get a duplicate dispatch; the
+        #: first copy to finish commits, the loser is discarded.
+        self._speculation = speculation
         #: optional wall-clock memory gate (``DispatchGate``): a band's
         #: ready subtask only starts when its estimated footprint fits
         #: the worker's in-flight budget. Purely reorders real kernel
@@ -171,6 +181,17 @@ class BandDispatcher:
                     )
         self._inflight = 0
         self._stopped = False
+        self._by_key = {s.key: s for s in order}
+        #: key -> monotonic submit time of the primary attempt.
+        self._started: dict[str, float] = {}
+        #: keys whose first completion already committed — a late
+        #: duplicate (speculation) must not redo bookkeeping.
+        self._finished: set[str] = set()
+        #: keys that already have a speculative duplicate in flight.
+        self._speculated: set[str] = set()
+        #: total completions, for the zero-progress stall watchdog.
+        self._completions = 0
+        self.speculative_count = 0
         #: fatal pool-level failure (submit failed, completion bookkeeping
         #: raised): surfaced to every waiter as DispatcherError.
         self._poisoned: BaseException | None = None
@@ -198,13 +219,24 @@ class BandDispatcher:
 
         Blocking is per-key condition signaling, not a poll loop: every
         completion/failure/poison/stop notifies the affected keys' (or
-        all) conditions; the long timeout below is a pure watchdog
-        against a runner thread vanishing without reporting.
+        all) conditions; the watchdog timeout
+        (``Config.dispatch_watchdog_timeout``) bounds how long a wedged
+        runner can wedge the walk — two consecutive windows with zero
+        completions raise :class:`DispatcherStall` with the blocked key
+        and queue state instead of silently re-waiting forever.
+
+        With speculation enabled the wait also enforces the blocked
+        key's EWMA deadline: once its primary attempt overruns, a
+        duplicate is dispatched and whichever copy finishes first
+        commits — on this thread, in topological order, so the
+        accounting walk (and ``SimReport``) is indifferent to which copy
+        won.
         """
         with self._lock:
             cond = self._key_conds.get(key)
             if cond is None:
                 cond = self._key_conds[key] = threading.Condition(self._lock)
+            stalled_windows = 0
             try:
                 while True:
                     error = self._errors.get(key)
@@ -229,7 +261,33 @@ class BandDispatcher:
                             f"dispatcher stalled waiting for {key!r}: nothing "
                             "in flight and nothing queued"
                         )
-                    cond.wait(timeout=60.0)
+                    timeout = self._watchdog
+                    if (self._speculation is not None
+                            and key not in self._finished
+                            and key not in self._speculated):
+                        started = self._started.get(key)
+                        subtask = self._by_key.get(key)
+                        if started is not None and subtask is not None:
+                            deadline = self._speculation.deadline(subtask)
+                            if deadline is not None:
+                                remaining = (started + deadline
+                                             - time.monotonic())
+                                if remaining <= 0.0:
+                                    self._speculate(subtask)
+                                else:
+                                    timeout = min(timeout, remaining)
+                    before = self._completions
+                    notified = cond.wait(timeout=timeout)
+                    if notified or self._completions != before:
+                        stalled_windows = 0
+                    elif timeout >= self._watchdog:
+                        stalled_windows += 1
+                        if stalled_windows >= 2:
+                            queued = {band: len(q) for band, q
+                                      in self._band_queues.items() if q}
+                            raise DispatcherStall(
+                                key, stalled_windows * self._watchdog,
+                                self._inflight, queued)
             finally:
                 self._key_conds.pop(key, None)
 
@@ -279,15 +337,16 @@ class BandDispatcher:
         Event-driven: every completion notifies the dispatcher
         condition, so the wait wakes exactly when progress happens; the
         timeout is a watchdog for a runner thread that vanished without
-        reporting completion (~30s of zero progress stops the wait
-        instead of deadlocking the caller).
+        reporting completion (half a ``dispatch_watchdog_timeout``
+        window of zero progress stops the wait instead of deadlocking
+        the caller).
         """
         with self._event:
             self._stopped = True
             self._signal_keys()
             while self._inflight > 0 and self._poisoned is None:
                 before = self._inflight
-                notified = self._event.wait(timeout=30.0)
+                notified = self._event.wait(timeout=self._watchdog / 2.0)
                 if notified or self._inflight != before:
                     continue
                 break
@@ -330,6 +389,7 @@ class BandDispatcher:
                 heapq.heappop(queue)
                 self._band_busy.add(band)
                 self._inflight += 1
+                self._started[subtask.key] = time.monotonic()
                 try:
                     self._pool.submit(self._run, subtask)
                 except BaseException as exc:  # pool shut down / saturated
@@ -340,11 +400,34 @@ class BandDispatcher:
                     self._set_poisoned(exc)
                     return
 
+    def _speculate(self, subtask: Subtask) -> None:
+        """Dispatch a duplicate of an overdue subtask (lock held).
+
+        The duplicate bypasses the band slot and the memory gate — it
+        exists to beat a wedged or straggling primary, not to queue
+        behind it. First completion commits; the loser's result is
+        discarded in ``_complete``.
+        """
+        self._speculated.add(subtask.key)
+        self._inflight += 1
+        self.speculative_count += 1
+        if self._speculation is not None:
+            self._speculation.speculated += 1
+        try:
+            self._pool.submit(self._run, subtask, True)
+        except BaseException as exc:  # pool shut down / saturated
+            self._inflight -= 1
+            self._set_poisoned(exc)
+
     # -- pool-thread side -------------------------------------------------
-    def _run(self, subtask: Subtask) -> None:
+    def _run(self, subtask: Subtask, speculative: bool = False) -> None:
         record: SubtaskComputation | None = None
         error: BaseException | None = None
         try:
+            if not speculative and self._speculation is not None:
+                # scripted straggler hook: only the primary attempt
+                # sleeps, so the speculative duplicate can win.
+                self._speculation.straggle(subtask)
             inputs = self._gather(subtask)
             record = self._compute(subtask, inputs)
         except BaseException as exc:  # noqa: BLE001 — re-raised in wait_for
@@ -374,9 +457,25 @@ class BandDispatcher:
                   error: BaseException | None) -> None:
         with self._event:
             self._inflight -= 1
+            if subtask.key in self._finished:
+                # the losing copy of a speculated subtask: the first
+                # completion already committed (records, band slot,
+                # gate, successor indegrees) — only the in-flight count
+                # and the waiters' wakeup remain.
+                self._dispatch_ready()
+                self._event.notify_all()
+                self._signal_keys()
+                return
+            self._finished.add(subtask.key)
+            self._completions += 1
             self._band_busy.discard(subtask.band or "")
             if self._gate is not None:
                 self._gate.finish(subtask)
+            if error is None and self._speculation is not None:
+                started = self._started.get(subtask.key)
+                if started is not None:
+                    self._speculation.observe(
+                        subtask, time.monotonic() - started)
             if error is None:
                 assert record is not None
                 try:

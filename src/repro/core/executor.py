@@ -27,6 +27,7 @@ from ..cluster.cluster import ClusterState
 from ..cluster.simulation import SimReport
 from ..config import Config
 from ..errors import (
+    ActorNotFound,
     ChunkLostError,
     ExecutionHang,
     FaultInjected,
@@ -50,14 +51,18 @@ from .memory_control import worker_of_band
 from .operator import COMBINE_DROPPED_KEY, ExecContext
 from .opfusion import compile_step, plan_subtask, step_io_keys
 from .scheduler import Scheduler
+from .supervision import SpeculationController
 
 #: failures the retry loop re-attempts; anything else (kernel bugs, OOM
 #: with spill disabled) propagates unchanged.  A process-pool worker
 #: dying mid-kernel is retryable too: the accounting walk simply re-runs
 #: the (pure, deterministic) kernels inline — same lineage-recovery path
-#: as a lost chunk, and no simulated number observes the crash.
+#: as a lost chunk, and no simulated number observes the crash.  A dead
+#: runner actor (killed between messages, destroy racing a delivery) is
+#: the same shape: its in-flight subtask re-runs inline and the
+#: supervisor respawns the actor on the next delivery.
 _RETRYABLE = (FaultInjected, ChunkLostError, StorageKeyError,
-              WorkerProcessCrash)
+              WorkerProcessCrash, ActorNotFound)
 
 
 def _lost_keys(exc: BaseException) -> list[str]:
@@ -159,11 +164,41 @@ class GraphExecutor:
         self._chunk_deps: dict[str, frozenset] = {}
         #: records accumulated during a stage, flushed to lifecycle once.
         self._pending_cache_records: dict[str, tuple] = {}
+        #: monotonic sequence for dedup tokens on mutating service
+        #: messages. Minted on the accounting walk only, so the token
+        #: stream — and therefore every message-chaos draw keyed on it —
+        #: is identical across serial/thread/process execution. A retry
+        #: or recovery re-run mints a *fresh* token: only genuine
+        #: duplicate deliveries of one call are ever suppressed.
+        self._msg_seq = 0
+        #: speculative straggler re-execution (parallel stages only).
+        self.speculation = (
+            SpeculationController(config.speculation_multiplier,
+                                  config.speculation_min_seconds)
+            if getattr(config, "speculation", False) else None
+        )
+        #: duplicate dispatches fired across this executor's stages.
+        self.speculative_subtasks = 0
 
     # -- multi-tenant helpers -------------------------------------------
     def _injector(self):
         """The fault injector in scope: per-session on a shared cluster."""
         return self.faults if self.faults is not None else self.cluster.faults
+
+    def _supervision(self):
+        """The cluster's supervision plane (``None`` on legacy setups)."""
+        return getattr(self.cluster, "supervision", None)
+
+    def _mint_token(self) -> tuple[str, int]:
+        """A fresh dedup token for one mutating service message.
+
+        ``(session, seq)`` with the sequence advanced on the accounting
+        walk: structurally identical runs mint identical token streams
+        in every execution mode, and concurrent tenants' streams never
+        collide (the session id namespaces them).
+        """
+        self._msg_seq += 1
+        return (self.session_id or "s0", self._msg_seq)
 
     def _tenant(self) -> str:
         """Session scope passed to shared services ('' on private clusters,
@@ -290,6 +325,17 @@ class GraphExecutor:
             parallel = self.parallel_mode
         if parallel is None:
             parallel = self.config.parallel_execution
+        # stage-boundary health sweep: restart anything dead (the kill
+        # may have landed between messages, with no delivery to trigger
+        # the supervisor) and arm heartbeat leases for every band about
+        # to receive work. Runs at the deterministic stage base time, so
+        # health verdicts are identical across execution modes; restarts
+        # charge no virtual time.
+        supervision = self._supervision()
+        if supervision is not None:
+            supervision.probe(base_time)
+            for band in {s.band for s in order if s.band}:
+                supervision.expect_runner(band, base_time)
         # stage boundary: on a private cluster every grant of a previous
         # stage ended at or before this stage's base time, so the ledger
         # starts empty; on a shared cluster only grants ending by this
@@ -430,7 +476,8 @@ class GraphExecutor:
             return
         records = list(self._pending_cache_records.values())
         self._pending_cache_records.clear()
-        self.lifecycle.cache_record(records, self.session_id)
+        self.lifecycle.cache_record(records, self.session_id,
+                                    dedup_token=self._mint_token())
 
     # ------------------------------------------------------------------
     def _execute_parallel(self, order: list[Subtask], graph: DAG[Subtask],
@@ -472,6 +519,8 @@ class GraphExecutor:
         dispatcher = BandDispatcher(
             graph, order, compute, fetch,
             pool=self.cluster.executor_pool(), gate=gate,
+            watchdog=self.config.dispatch_watchdog_timeout,
+            speculation=self.speculation,
         )
         dispatcher.start()
         try:
@@ -497,6 +546,7 @@ class GraphExecutor:
                     dispatcher.discard(subtask.key)
         finally:
             dispatcher.shutdown()
+            self.speculative_subtasks += dispatcher.speculative_count
 
     def _precompute(self, subtask: Subtask) -> SubtaskComputation | None:
         """Serial-mode compute phase: run kernels via the band's runner.
@@ -543,7 +593,8 @@ class GraphExecutor:
                 end = self._run_guarded(subtask, graph, completion, base_time,
                                         retain, consumers, stage,
                                         computed=computed)
-                self.lifecycle.finish_subtask(subtask, session=self._tenant())
+                self.lifecycle.finish_subtask(subtask, session=self._tenant(),
+                                              dedup_token=self._mint_token())
                 return end
             spec = injector.spec
             ident = (subtask.stage_index, subtask.priority)
@@ -578,7 +629,8 @@ class GraphExecutor:
                     if lost:
                         self._recover_lost(lost, base_time, stage)
                     continue
-                self.lifecycle.finish_subtask(subtask, session=self._tenant())
+                self.lifecycle.finish_subtask(subtask, session=self._tenant(),
+                                              dedup_token=self._mint_token())
                 self._inject_post_subtask(subtask, stage)
                 return end
         finally:
@@ -694,6 +746,8 @@ class GraphExecutor:
         if injector.kill_worker_after(subtask):
             band = self.cluster.band_by_name(subtask.band)
             self._kill_worker(band.worker, stage)
+        for uid in injector.actor_kills_after(subtask):
+            self._kill_actor(uid)
 
     def _lose_chunk(self, key: str) -> None:
         # Fault loss deletes the data but keeps any shuffle index entry:
@@ -711,6 +765,19 @@ class GraphExecutor:
             self._pending_cache_records.pop(key, None)
             scope = self.session_id if self.multi_tenant else None
             self.lifecycle.invalidate_cached([key], session=scope)
+
+    def _kill_actor(self, uid: str) -> None:
+        """Crash one service/runner actor (scripted chaos).
+
+        The supervisor respawns it lazily — on the next delivery to the
+        uid or at the next stage-boundary probe — replaying state from
+        its authoritative source (durable storage unit, long-lived
+        service object, or lineage for runner compute). Zero virtual
+        time is charged, so reports stay bit-identical.
+        """
+        plane = self._supervision()
+        if plane is not None:
+            plane.kill(uid)
 
     def _kill_worker(self, worker: str, stage: SimReport) -> None:
         """Simulate a worker crash right after a subtask completed.
@@ -1006,7 +1073,8 @@ class GraphExecutor:
             if key not in env:
                 raise KeyError(f"subtask produced no value for output {key!r}")
             put_entries.append((key, env[key], sizes.get(key)))
-        stored_sizes = self.storage.put_many(put_entries, worker)
+        stored_sizes = self.storage.put_many(put_entries, worker,
+                                             dedup_token=self._mint_token())
         register_entries = []
         meta_entries = []
         for (key, value, _), stored in zip(put_entries, stored_sizes):
@@ -1021,7 +1089,8 @@ class GraphExecutor:
                 self.scheduling.record_chunk(key, subtask.band)
             meta_entries.append((key, value, self._pending_extra.pop(key, None)))
         if register_entries:
-            self.shuffle.register_partitions(register_entries)
+            self.shuffle.register_partitions(register_entries,
+                                             dedup_token=self._mint_token())
         if meta_entries:
             self.meta.set_from_values(meta_entries)
         if not recovering and self._cache_enabled():
@@ -1040,6 +1109,12 @@ class GraphExecutor:
             + cost.dispatch_overhead * len(steps)
         )
         end = self.cluster.clock.run_subtask(band, ready_time, duration)
+        supervision = self._supervision()
+        if supervision is not None:
+            # virtual-clock heartbeat: a completion on the band renews
+            # its runner's liveness lease (accounting walk — identical
+            # beats in every execution mode).
+            supervision.beat_runner(band, end)
         for key in subtask.output_keys:
             self.chunk_ready_at[key] = end
         if decision is not None:

@@ -70,6 +70,9 @@ class FaultInjector:
         self._compute_hooks: list[Callable[[Subtask, int], bool]] = []
         self._loss_hooks: list[Callable[[Subtask, str], bool]] = []
         self._kill_hooks: list[Callable[[Subtask], bool]] = []
+        #: scripted actor kills: (stage, priority) -> uids to crash
+        #: right after that subtask completes (accounting walk).
+        self._scripted_actor_kills: dict[tuple[int, int], list[str]] = {}
 
     @property
     def enabled(self) -> bool:
@@ -79,6 +82,7 @@ class FaultInjector:
         # missing-input pre-check in later stages.
         return (self.spec.any_rate or bool(self._scripted)
                 or bool(self._scripted_squeeze)
+                or bool(self._scripted_actor_kills)
                 or bool(self._compute_hooks) or bool(self._loss_hooks)
                 or bool(self._kill_hooks) or bool(self.events))
 
@@ -174,6 +178,28 @@ class FaultInjector:
     def script_worker_kill(self, stage: int, priority: int) -> None:
         """Kill the worker that runs the subtask at (stage, priority)."""
         self._scripted.add(("worker_kill", stage, priority))
+
+    def script_actor_kill(self, stage: int, priority: int, uid: str) -> None:
+        """Crash the actor ``uid`` after the subtask at (stage, priority).
+
+        Fired on the accounting walk right after that subtask's
+        post-completion injection point, so the kill lands at the same
+        structural moment in serial, thread and process mode. The
+        supervisor restarts the actor lazily (next delivery or probe).
+        """
+        self._scripted_actor_kills.setdefault((stage, priority), []).append(uid)
+
+    def actor_kills_after(self, subtask: Subtask) -> list[str]:
+        """Consume the actor kills scripted for this subtask, if any."""
+        uids = self._scripted_actor_kills.pop(
+            (subtask.stage_index, subtask.priority), None)
+        if not uids:
+            return []
+        for uid in uids:
+            self.events.append(FaultEvent(
+                "actor_kill", uid, subtask.stage_index, subtask.priority,
+            ))
+        return uids
 
     def script_memory_squeeze(self, stage: int, priority: int,
                               factor: float | None = None) -> None:

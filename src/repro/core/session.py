@@ -76,6 +76,9 @@ class RunReport:
     #: the execution graph by a hit, and the stored bytes they reused.
     cache_hit_chunks: int = 0
     cache_reused_bytes: int = 0
+    #: straggler mitigation (zero with ``speculation`` off): duplicate
+    #: dispatches fired past a subtask's EWMA deadline.
+    speculative_subtasks: int = 0
     peak_memory: dict[str, int] = field(default_factory=dict)
 
 
@@ -175,6 +178,7 @@ class SessionActor(Actor):
         forced0 = self.executor.report.forced_spill_bytes
         cache_hits0 = self.executor.report.cache_hit_chunks
         cache_bytes0 = self.executor.report.cache_reused_bytes
+        speculative0 = self.executor.speculative_subtasks
 
         previous_mode = self.executor.parallel_mode
         if parallel is not None:
@@ -264,6 +268,9 @@ class SessionActor(Actor):
             ),
             cache_reused_bytes=(
                 self.executor.report.cache_reused_bytes - cache_bytes0
+            ),
+            speculative_subtasks=(
+                self.executor.speculative_subtasks - speculative0
             ),
             peak_memory=self.cluster.peak_memory(),
         )

@@ -176,6 +176,55 @@ def cache_report(session: Session) -> str:
     return "\n".join(lines)
 
 
+def supervision_report(session: Session) -> str:
+    """Actor-plane health: restarts, heartbeat leases, message chaos.
+
+    Reads the cluster's :class:`~repro.core.supervision.SupervisionPlane`
+    (restart/kill counters, per-uid heartbeat state) and the actor
+    system's :class:`~repro.actors.MessageChaos` counters.  All zeros on
+    a healthy, chaos-free run.
+    """
+    lines = ["actor supervision:"]
+    plane = getattr(session.cluster, "supervision", None)
+    if plane is None:
+        lines.append("  (no supervision plane deployed)")
+    else:
+        snap = plane.snapshot()
+        sup = snap["supervisor"]
+        health = snap["health"]
+        lines.extend([
+            f"  supervised actors:   {sup['supervised']}",
+            f"  restarts / kills:    {sup['total_restarts']} / "
+            f"{sup['total_kills']}",
+            f"  service restarts:    {snap['service_restarts']}",
+            f"  runner restarts:     {snap['runner_restarts']}",
+            f"  heartbeat leases:    {health['armed']} armed of "
+            f"{health['watched']} watched",
+            f"  runners dead:        {health['deaths_declared']}",
+        ])
+        for uid, count in sorted(sup["restarts_by_uid"].items()):
+            lines.append(f"    {uid:24s} restarted x{count}")
+    chaos = session.cluster.actor_system.chaos
+    if chaos is None or not chaos.enabled:
+        lines.append("  message chaos:       off")
+    else:
+        snap = chaos.snapshot()
+        lines.extend([
+            "  message chaos:",
+            f"    dropped:           {snap['dropped']}",
+            f"    delayed:           {snap['delayed']}",
+            f"    duplicated:        {snap['duplicated']}",
+        ])
+    speculation = session.executor.speculation
+    if speculation is None:
+        lines.append("  speculation:         off")
+    else:
+        lines.append(
+            f"  speculative runs:    {session.executor.speculative_subtasks}"
+        )
+    return "\n".join(lines)
+
+
 def messages_per_subtask(session: Session) -> float:
     """Actor messages delivered per executed subtask (0.0 before any run).
 

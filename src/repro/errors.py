@@ -146,6 +146,29 @@ class DispatcherError(ReproError):
     """
 
 
+class DispatcherStall(DispatcherError):
+    """The dispatcher made zero progress across consecutive watchdog windows.
+
+    Carries the diagnostic context a stall post-mortem needs: which key the
+    accounting walk was blocked on, how many computations were in flight,
+    and what was still queued per band. Replaces the old silent re-wait so
+    a wedged runner surfaces as a typed failure instead of a hang.
+    """
+
+    def __init__(self, key: str, waited: float, inflight: int,
+                 queued: dict[str, int]):
+        self.key = key
+        self.waited = waited
+        self.inflight = inflight
+        self.queued = dict(queued)
+        pending = ", ".join(f"{band}={n}" for band, n in sorted(self.queued.items()))
+        super().__init__(
+            f"dispatcher stalled waiting for {key!r}: no completions for "
+            f"{waited:.1f}s with {inflight} in flight"
+            + (f" (queued: {pending})" if pending else "")
+        )
+
+
 class StorageFull(ReproError):
     """A storage tier cannot accept more data and spilling is disabled."""
 
@@ -164,6 +187,42 @@ class SchedulingError(ReproError):
 
 class ActorError(ReproError):
     """Actor framework failure (unknown actor, dead pool, ...)."""
+
+
+class ActorNotFound(ActorError):
+    """A message was delivered to a uid that is not (or no longer) registered.
+
+    Typed and retryable: ``destroy_actor``/``stop_pool`` racing an in-flight
+    ``deliver``, or a killed runner, surface as this instead of an opaque
+    lookup failure. The executor treats it like any other transient fault —
+    the subtask re-runs inline and lineage recovery restores lost state.
+    """
+
+    def __init__(self, address: str, uid: str, detail: str = ""):
+        self.address = address
+        self.uid = uid
+        super().__init__(
+            f"no actor {uid!r} at address {address!r}"
+            + (f": {detail}" if detail else "")
+        )
+
+
+class RestartStorm(ActorError):
+    """An actor died more times than its restart budget allows.
+
+    The supervisor refuses further restarts of the uid; the failure
+    propagates to the caller instead of looping forever on a crashing
+    service.
+    """
+
+    def __init__(self, uid: str, restarts: int, limit: int):
+        self.uid = uid
+        self.restarts = restarts
+        self.limit = limit
+        super().__init__(
+            f"actor {uid!r} restarted {restarts} times "
+            f"(limit {limit}); refusing further restarts"
+        )
 
 
 class SessionError(ReproError):

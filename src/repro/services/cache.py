@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from ..utils import DedupLog
 from .base import ServiceActor
 
 
@@ -72,6 +73,8 @@ class ResultCacheService:
         self._known: dict[str, tuple[str, frozenset]] = {}
         self._bytes = 0
         self.stats = CacheStats()
+        #: memo of applied ``record_many`` tokens (at-least-once).
+        self._dedup = DedupLog()
 
     # -- configuration -----------------------------------------------------
     def _budget(self) -> Optional[int]:
@@ -133,13 +136,20 @@ class ResultCacheService:
 
     # -- recording ---------------------------------------------------------
     def record_many(self, entries: Iterable[tuple],
-                    session: str = "") -> list[str]:
+                    session: str = "", dedup_token=None) -> list[str]:
         """Insert executed results; returns chunk keys evicted for budget.
 
         ``entries`` holds ``(ident, chunk_key, nbytes, deps, explicit)``
         tuples. The caller (lifecycle) unpins/frees the returned chunk
         keys — eviction here only updates the directory.
+
+        Idempotent under at-least-once delivery: a redelivered batch
+        (same ``dedup_token``) returns the memoized evicted list, so
+        duplicates never double-count directory bytes or re-run the LRU.
         """
+        seen, memo = self._dedup.check(dedup_token)
+        if seen:
+            return memo
         evicted: list[str] = []
         for ident, chunk_key, nbytes, deps, explicit in entries:
             old = self._entries.get(ident)
@@ -154,6 +164,7 @@ class ResultCacheService:
         budget = self._budget()
         if budget is not None:
             evicted.extend(self._evict_to(budget))
+        self._dedup.record(dedup_token, evicted)
         return evicted
 
     def _evict_to(self, budget: int) -> list[str]:

@@ -11,9 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..actors.message import MessageChaos
 from ..cluster.cluster import SUPERVISOR_ADDRESS, ClusterState
 from ..config import Config
 from ..core.meta import MetaService
+from ..core.supervision import SupervisionPlane
 from ..storage.service import StorageService
 from ..storage.shuffle import ShuffleManager
 from . import (
@@ -75,57 +77,101 @@ def deploy_services(cluster: ClusterState, config: Config) -> ServiceHandles:
     """
     system = cluster.actor_system
 
+    # the supervision plane comes up first so every actor created below
+    # can register its respawn factory. Message chaos is installed on
+    # the system too (zero rates = off, the default).
+    plane = SupervisionPlane(system, config)
+    cluster.supervision = plane
+    system.supervisor = plane.supervisor
+    system.chaos = MessageChaos(config.message_faults)
+
+    meta_service = MetaService()
     meta = system.create_actor(
-        SUPERVISOR_ADDRESS, MetaActor, MetaService(), uid=META_UID,
+        SUPERVISOR_ADDRESS, MetaActor, meta_service, uid=META_UID,
     )
+    plane.register_service(SUPERVISOR_ADDRESS, META_UID,
+                           lambda: (MetaActor, (meta_service,), {}))
 
     router = StorageService(cluster, config)
-    worker_refs = {
-        worker.name: system.create_actor(
-            worker.name, StorageActor, router.worker_unit(worker.name),
-            uid=worker_storage_uid(worker.name),
-        )
+    # plain worker units captured *before* the router swaps in actor
+    # refs: a respawned StorageActor re-attaches to the same durable
+    # unit, so tiers, pins and spill state survive the actor's death.
+    units = {
+        worker.name: router.worker_unit(worker.name)
         for worker in cluster.workers
     }
+    worker_refs = {}
+    for worker in cluster.workers:
+        uid = worker_storage_uid(worker.name)
+        worker_refs[worker.name] = system.create_actor(
+            worker.name, StorageActor, units[worker.name], uid=uid,
+        )
+        plane.register_service(
+            worker.name, uid,
+            lambda unit=units[worker.name]: (StorageActor, (unit,), {}))
     router.use_worker_handles(worker_refs)
     storage = system.create_actor(
         SUPERVISOR_ADDRESS, StorageManagerActor, router, uid=STORAGE_UID,
     )
+    plane.register_service(SUPERVISOR_ADDRESS, STORAGE_UID,
+                           lambda: (StorageManagerActor, (router,), {}))
 
+    shuffle_manager = ShuffleManager(storage)
     shuffle = system.create_actor(
-        SUPERVISOR_ADDRESS, ShuffleActor, ShuffleManager(storage),
-        uid=SHUFFLE_UID,
+        SUPERVISOR_ADDRESS, ShuffleActor, shuffle_manager, uid=SHUFFLE_UID,
     )
+    plane.register_service(SUPERVISOR_ADDRESS, SHUFFLE_UID,
+                           lambda: (ShuffleActor, (shuffle_manager,), {}))
 
+    scheduling_service = SchedulingService.create(cluster, config, meta,
+                                                  storage)
     scheduling = system.create_actor(
-        SUPERVISOR_ADDRESS, SchedulingActor,
-        SchedulingService.create(cluster, config, meta, storage),
+        SUPERVISOR_ADDRESS, SchedulingActor, scheduling_service,
         uid=SCHEDULING_UID,
     )
+    plane.register_service(
+        SUPERVISOR_ADDRESS, SCHEDULING_UID,
+        lambda: (SchedulingActor, (scheduling_service,), {}))
 
+    cache_service = ResultCacheService(storage, config)
     cache = system.create_actor(
-        SUPERVISOR_ADDRESS, CacheActor,
-        ResultCacheService(storage, config), uid=CACHE_UID,
+        SUPERVISOR_ADDRESS, CacheActor, cache_service, uid=CACHE_UID,
     )
+    plane.register_service(SUPERVISOR_ADDRESS, CACHE_UID,
+                           lambda: (CacheActor, (cache_service,), {}))
 
+    lifecycle_service = LifecycleService(storage, shuffle, config,
+                                         cache=cache)
     lifecycle = system.create_actor(
-        SUPERVISOR_ADDRESS, LifecycleActor,
-        LifecycleService(storage, shuffle, config, cache=cache),
+        SUPERVISOR_ADDRESS, LifecycleActor, lifecycle_service,
         uid=LIFECYCLE_UID,
     )
+    plane.register_service(
+        SUPERVISOR_ADDRESS, LIFECYCLE_UID,
+        lambda: (LifecycleActor, (lifecycle_service,), {}))
 
     procpool = (
         cluster.procpool_client() if config.execution_mode == "process"
         else None
     )
-    runners = {
-        band.name: system.create_actor(
+    runners = {}
+    for band in cluster.bands:
+        uid = runner_uid(band.name)
+        runners[band.name] = system.create_actor(
             band.worker, SubtaskRunnerActor,
             SubtaskRunner(band.name, storage, config, procpool=procpool),
-            uid=runner_uid(band.name),
+            uid=uid,
         )
-        for band in cluster.bands
-    }
+        # runners are stateless: the factory builds a *fresh* one — any
+        # compute lost with the old actor re-runs through the executor's
+        # inline retry, and lost chunks replay via lifecycle lineage.
+        plane.register_runner(
+            band.name, band.worker, uid,
+            lambda name=band.name: (
+                SubtaskRunnerActor,
+                (SubtaskRunner(name, storage, config, procpool=procpool),),
+                {},
+            ))
 
     handles = ServiceHandles(
         meta=meta, storage=storage, scheduling=scheduling,

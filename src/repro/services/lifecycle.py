@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from ..core.recovery import RecoveryManager
+from ..utils import DedupLog
 from .base import ServiceActor
 
 
@@ -52,6 +53,8 @@ class LifecycleService:
         #: chunk keys the result cache points at — exempt from
         #: refcount-driven frees until evicted or invalidated.
         self._cache_protected: set[str] = set()
+        #: memo of applied ``finish_subtask`` tokens (at-least-once).
+        self._dedup = DedupLog()
 
     def _scope(self, session: str) -> _StageScope:
         scope = self._scopes.get(session)
@@ -102,15 +105,24 @@ class LifecycleService:
                 self._shuffle.forget_keys(freed)
         return freed
 
-    def finish_subtask(self, subtask, session: str = "") -> list[str]:
+    def finish_subtask(self, subtask, session: str = "",
+                       dedup_token=None) -> list[str]:
         """One message for a subtask's whole lifecycle epilogue.
 
         Releases the consumer refcounts its inputs held (freeing what
         dropped to zero) and records its lineage; returns the freed
         keys.
+
+        Idempotent under at-least-once delivery: a redelivered message
+        (same ``dedup_token``) returns the memoized freed list without
+        decrementing refcounts a second time.
         """
+        seen, memo = self._dedup.check(dedup_token)
+        if seen:
+            return memo
         freed = self.release_consumed(subtask.input_keys, session)
         self._recovery.record(subtask)
+        self._dedup.record(dedup_token, freed)
         return freed
 
     def drop_session(self, session: str) -> None:
@@ -123,7 +135,8 @@ class LifecycleService:
             del self._terminal[key]
 
     # -- result cache ------------------------------------------------------
-    def cache_record(self, entries, session_id: str = "") -> list[str]:
+    def cache_record(self, entries, session_id: str = "",
+                     dedup_token=None) -> list[str]:
         """Register executed results with the cache; handle evictions.
 
         ``entries`` holds ``(ident, chunk_key, nbytes, deps, explicit)``
@@ -131,14 +144,24 @@ class LifecycleService:
         frees; chunks the cache evicted for budget lose protection and
         — under eager-release semantics — are deleted outright unless
         an active stage still retains them.
+
+        The dedup token guards this hop *and* is forwarded to
+        ``record_many``, so a duplicate on either the client->lifecycle
+        or the lifecycle->cache edge applies the recording once.
         """
         if self._cache is None:
             return []
+        seen, memo = self._dedup.check(dedup_token)
+        if seen:
+            return memo
         entries = list(entries)
-        evicted = self._cache.record_many(entries, session_id)
+        evicted = self._cache.record_many(entries, session_id,
+                                          dedup_token=dedup_token)
         for _ident, chunk_key, _nbytes, _deps, _explicit in entries:
             self._cache_protected.add(chunk_key)
-        return self._unprotect(evicted)
+        result = self._unprotect(evicted)
+        self._dedup.record(dedup_token, result)
+        return result
 
     def invalidate_cached(self, chunk_keys, session=None) -> list[str]:
         """Chunk bytes vanished or changed: drop dependent cache entries.
