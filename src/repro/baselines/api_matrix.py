@@ -24,7 +24,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..frame import DataFrame as LocalFrame
+from ..engine.local import DataFrame as LocalFrame
 
 
 @dataclass

@@ -17,7 +17,7 @@ from ..config import Config, default_config
 from ..core.session import Session
 from ..dataframe import from_frame
 from ..errors import ApiCompatibilityError, ExecutionHang, WorkerOutOfMemory
-from ..frame import DataFrame as LocalFrame
+from ..engine.local import DataFrame as LocalFrame
 from ..workloads.tpch.queries import materialize
 
 #: Table II failure taxonomy.

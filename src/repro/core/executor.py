@@ -36,6 +36,7 @@ from ..errors import (
     WorkerOutOfMemory,
     WorkerProcessCrash,
 )
+from ..engine.base import compiled_fusion_enabled, engine_of, persist_result
 from ..graph.dag import DAG
 from ..graph.entity import ChunkData
 from ..graph.identity import compute_chunk_identities
@@ -937,7 +938,8 @@ class GraphExecutor:
             # as locals of the generated function, so they no longer
             # inflate the transient working-set peak.
             compiled = (
-                compile_step(step) if self.config.compiled_fusion else None
+                compile_step(step)
+                if compiled_fusion_enabled(self.config) else None
             )
             if compiled is not None:
                 final_op = compiled.final_op
@@ -966,7 +968,12 @@ class GraphExecutor:
                     executed_ops.add(id(op))
                     if computed is None:
                         ctx = ExecContext(env, self.config)
-                        result = op.execute(ctx)
+                        # same persist the runners apply: the env (and
+                        # with it sized(), storage, shuffle accounting)
+                        # only ever sees physical values.
+                        result = persist_result(
+                            engine_of(self.config), op, op.execute(ctx)
+                        )
                         extra_meta = ctx.extra_meta
                     else:
                         result = computed.op_results[id(op)]

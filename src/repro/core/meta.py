@@ -13,10 +13,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-import numpy as np
-
-from ..frame import DataFrame, Series
-from ..utils import sizeof
+from ..engine.base import describe_value
 
 
 @dataclass
@@ -33,27 +30,14 @@ class ChunkMeta:
 
 
 def meta_from_value(value: Any, extra: dict | None = None) -> ChunkMeta:
-    """Derive a :class:`ChunkMeta` from an executed chunk's value."""
-    extra = dict(extra or {})
-    if isinstance(value, DataFrame):
-        return ChunkMeta(
-            shape=value.shape, nbytes=sizeof(value), kind="dataframe",
-            columns=value.columns.to_list(), extra=extra,
-        )
-    if isinstance(value, Series):
-        return ChunkMeta(
-            shape=value.shape, nbytes=sizeof(value), kind="series",
-            dtype=value.dtype, extra=extra,
-        )
-    if isinstance(value, np.ndarray):
-        return ChunkMeta(
-            shape=value.shape, nbytes=sizeof(value), kind="tensor",
-            dtype=value.dtype, extra=extra,
-        )
-    if isinstance(value, (list, tuple, dict)):
-        return ChunkMeta(shape=(), nbytes=sizeof(value), kind="scalar", extra=extra)
-    return ChunkMeta(shape=(), nbytes=sizeof(value), kind="scalar",
-                     dtype=getattr(value, "dtype", None), extra=extra)
+    """Derive a :class:`ChunkMeta` from an executed chunk's value.
+
+    Dispatches through the engine seam (``repro.engine``): chunk values
+    are physical, and each backend registers describers for its own
+    types — a columnar chunk reports its dictionary-encoded byte size,
+    which is what storage budgets and footprint EWMAs must see.
+    """
+    return ChunkMeta(**describe_value(value, extra))
 
 
 class MetaService:

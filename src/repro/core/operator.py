@@ -16,6 +16,7 @@ import inspect
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..config import Config
+from ..engine.base import engine_of
 from ..graph.entity import ChunkData, TileableData
 
 if TYPE_CHECKING:
@@ -70,7 +71,9 @@ class TileContext:
         if not self._storage.contains(chunk_key) and self._recoverable(
                 chunk_key):
             self._executor.ensure_available([chunk_key])
-        return self._storage.peek(chunk_key)
+        # storage holds physical (engine-encoded) values; sampling code
+        # reasons about logical frames, so decode on the way out.
+        return engine_of(self.config).compute(self._storage.peek(chunk_key))
 
     def chunk_meta(self, chunk: ChunkData) -> Optional[ChunkMeta]:
         return self.meta.get(chunk.key)
@@ -115,17 +118,26 @@ COMBINE_DROPPED_KEY = "__combine_dropped_rows"
 class ExecContext:
     """What an operator sees while executing on a worker.
 
-    ``get`` returns input chunk values (already fetched from storage by the
-    executor); ``extra_meta`` lets operators attach sampling facts (e.g.
-    pre/post aggregation sizes) that dynamic tiling reads later.
+    ``get`` returns input chunk values (already fetched from storage by
+    the executor) decoded to *logical* frames — the environment holds
+    whatever physical form ``Config.chunk_engine`` selected, but kernels
+    always compute on ``repro.frame`` containers. ``get_physical`` hands
+    out the raw stored value for kernels that partition/split through
+    the engine without materializing rows. ``extra_meta`` lets operators
+    attach sampling facts (e.g. pre/post aggregation sizes) that dynamic
+    tiling reads later.
     """
 
     def __init__(self, values: dict[str, Any], config: Config):
         self._values = values
         self.config = config
+        self.engine = engine_of(config)
         self.extra_meta: dict[str, dict] = {}
 
     def get(self, key: str) -> Any:
+        return self.engine.compute(self._values[key])
+
+    def get_physical(self, key: str) -> Any:
         return self._values[key]
 
     def has(self, key: str) -> bool:
@@ -289,4 +301,6 @@ class FetchOp(Operator):
         self.source_key = source_key
 
     def execute(self, ctx: ExecContext) -> Any:
-        return ctx.get(self.source_key)
+        # pass the stored value through physically: decoding here would
+        # make the subsequent persist a decode/re-encode round-trip.
+        return ctx.get_physical(self.source_key)

@@ -33,8 +33,9 @@ import numpy as np
 from ..actors import Actor
 from ..cluster.cluster import SUPERVISOR_ADDRESS, ClusterState
 from ..config import Config, default_config
+from ..engine.base import engine_of
+from ..engine.local import DataFrame, Series, concat
 from ..errors import ActorError, SessionError, WorkerOutOfMemory
-from ..frame import DataFrame, Series, concat
 from ..graph.dag import DAG
 from ..graph.entity import TileableData
 from ..services import session_actor_uid
@@ -331,8 +332,11 @@ class SessionActor(Actor):
         self.executor.ensure_available(
             [chunk.key for chunk in tileable.chunks]
         )
+        # storage holds physical chunk values; assembly (and the user)
+        # work on logical frames, so decode through the session's engine.
+        engine = engine_of(self.config)
         values = {
-            chunk.index: self.services.storage.peek(chunk.key)
+            chunk.index: engine.compute(self.services.storage.peek(chunk.key))
             for chunk in tileable.chunks
         }
         return assemble(tileable.kind, values)

@@ -14,8 +14,8 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 import numpy as np
 
 from ..core.session import Session, get_default_session
-from ..frame import DataFrame as LocalFrame, Series as LocalSeries
-from ..frame.groupby import _how_name
+from ..engine.local import DataFrame as LocalFrame, Series as LocalSeries
+from ..engine.local import _how_name
 from ..graph.entity import TileableData
 from .arithmetic import Elementwise, MapPartitions, build_elementwise
 from .datasource import FromFrame, ReadCSV, ReadParquet
@@ -928,7 +928,7 @@ def from_dict(data: Mapping, session: Session | None = None) -> DataFrame:
 
 def read_parquet(path, columns: Optional[list] = None,
                  session: Session | None = None) -> DataFrame:
-    from ..frame.io import parquet_metadata
+    from ..engine.local import parquet_metadata
 
     meta = parquet_metadata(path)
     all_columns = [c["name"] for c in meta["columns"]]
@@ -942,7 +942,7 @@ def read_parquet(path, columns: Optional[list] = None,
 def read_csv(path, columns: Optional[list] = None,
              parse_dates: Optional[list] = None,
              session: Session | None = None) -> DataFrame:
-    from ..frame.io import csv_row_count, read_csv as local_read_csv
+    from ..engine.local import csv_row_count, read_csv as local_read_csv
 
     header = local_read_csv(path, nrows=1)
     all_columns = header.columns.to_list()

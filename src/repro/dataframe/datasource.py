@@ -14,9 +14,8 @@ import numpy as np
 
 from ..core.operator import DataSourceOp, ExecContext, Operator, TileContext
 from ..core.rechunk import balanced_splits
-from ..frame import DataFrame
-from ..frame import io as frame_io
-from ..frame.index import RangeIndex
+from ..engine.local import DataFrame, RangeIndex
+from ..engine.local import io as frame_io
 from ..utils import sizeof
 from .utils import chunk_index
 

@@ -224,7 +224,7 @@ class ILocChunk(Operator):
 
     def execute(self, ctx: ExecContext):
         if len(self.inputs) > 1:
-            from ..frame import concat
+            from ..engine.local import concat
 
             value = concat([ctx.get(c.key) for c in self.inputs])
         else:

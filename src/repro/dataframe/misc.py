@@ -8,7 +8,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..core.operator import ExecContext, Operator, TileContext
-from ..frame import concat
+from ..engine.local import concat
 from ..graph.entity import ChunkData
 from ..utils import batched
 from .utils import chunk_index, nsplits_from_chunks

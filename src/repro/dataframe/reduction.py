@@ -13,8 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.operator import ExecContext, Operator, TileContext
-from ..frame import DataFrame, Series
-from ..frame.index import Index
+from ..engine.local import DataFrame, Index, Series
 from ..utils import batched
 from .utils import chunk_index
 
@@ -195,7 +194,7 @@ class DataFrameReductionChunk(Operator):
         self.stage_role = stage_role
 
     def execute(self, ctx: ExecContext):
-        from ..frame import dtypes as frame_dtypes
+        from ..engine.local import dtypes as frame_dtypes
 
         values = [ctx.get(c.key) for c in self.inputs]
         if self.stage_role == "map":

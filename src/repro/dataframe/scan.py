@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.operator import ExecContext, Operator, TileContext
-from ..frame import Series
+from ..engine.local import Series
 from .utils import chunk_index, nsplits_from_chunks, row_count, row_counts
 
 _SCANS = {

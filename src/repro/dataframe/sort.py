@@ -16,10 +16,9 @@ from typing import Sequence
 import numpy as np
 
 from ..core.operator import ExecContext, Operator, TileContext
-from ..frame import concat
+from ..engine.local import concat
 from ..graph.entity import ChunkData
 from ..utils import new_key
-from .partition import assign_range_partitions, split_by_assignment
 from .utils import ConcatChunks, chunk_index, nsplits_from_chunks, spread_sample
 
 
@@ -132,14 +131,15 @@ class SortPartition(Operator):
         self.shuffle_id = shuffle_id
 
     def execute(self, ctx: ExecContext):
-        frame = ctx.get(self.inputs[0].key)
+        engine = ctx.engine
+        value = ctx.get_physical(self.inputs[0].key)
         vectorized = ctx.config.vectorized_shuffle
-        assignment = assign_range_partitions(
-            frame[self.key].values, self.boundaries, vectorized=vectorized
+        assignment = engine.range_partition(
+            value, self.key, self.boundaries, vectorized=vectorized
         )
         n_parts = len(self.outputs)
-        parts = split_by_assignment(
-            frame, assignment, n_parts, vectorized=vectorized
+        parts = engine.split(
+            value, assignment, n_parts, vectorized=vectorized
         )
         return {chunk.key: parts[r] for r, chunk in enumerate(self.outputs)}
 

@@ -7,7 +7,7 @@ from typing import Optional, Sequence
 
 from ..core.operator import ExecContext, Operator, TileContext
 from ..errors import TilingError
-from ..frame import DataFrame, Series, concat
+from ..engine.local import DataFrame, Series, concat
 from ..graph.entity import ChunkData
 
 

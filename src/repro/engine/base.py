@@ -1,0 +1,250 @@
+"""The chunk-engine seam: pluggable physical chunk representations.
+
+The tiling layer is deliberately backend-agnostic — operators tile into
+chunks whose *physical* representation is an implementation detail — yet
+for nine PRs every layer of this repository imported ``repro.frame``
+directly, hard-wiring one row-oriented layout into kernels, executor,
+shuffle plane and workloads alike.  This module is the seam that undoes
+that: a :class:`ChunkEngine` ABC (in the spirit of Ludwig's
+``DataFrameEngine``) plus a registry keyed by ``Config.chunk_engine``.
+
+Value spaces
+------------
+
+Every engine distinguishes two value spaces:
+
+- **logical** values — what operator kernels compute with: the
+  ``repro.frame`` containers (``DataFrame``/``Series``), NumPy arrays
+  and scalars.  ``ExecContext.get`` always hands kernels logical values.
+- **physical** values — what sits in the executor environment, the
+  storage service, and on the shuffle/IPC wire.  ``persist`` maps
+  logical → physical; ``compute`` maps physical → logical.  For the
+  default :class:`~repro.engine.row.RowEngine` both maps are the
+  identity, so the row backend is bit-identical to the pre-seam engine.
+
+Accounting follows the split: ``sizeof`` (storage tiers, shuffle/wire
+byte counters) charges the *physical* value — a columnar chunk pays its
+dictionary-encoded size, which is what actually travels — while meta
+(:func:`describe_value`, feeding size-driven tiling decisions) reports
+the *logical* row-space size, so plan topology never depends on the
+backend.
+
+Boundary rule (enforced by ``tools/check_service_boundaries.py``):
+outside ``repro/frame/`` and ``repro/engine/`` no module may import
+``repro.frame`` — the frame API is re-exported by
+:mod:`repro.engine.local` and physical behaviour goes through an engine
+handle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..frame import DataFrame, Series, concat as frame_concat
+from ..utils import sizeof
+
+
+class ChunkEngine(ABC):
+    """One physical chunk representation, behind a uniform surface."""
+
+    #: registry key (``Config.chunk_engine``).
+    name: str = "abstract"
+    #: compiled expression fusion evaluates templates against raw
+    #: environment values, which only makes sense when physical ==
+    #: logical; non-row engines decline and the fused step is
+    #: interpreted operator-by-operator instead.
+    supports_compiled_fusion: bool = False
+
+    # -- representation -------------------------------------------------
+    @abstractmethod
+    def persist(self, value: Any) -> Any:
+        """Logical → physical: the storage/shuffle form of a value.
+
+        Must be idempotent (``persist(persist(v)) == persist(v)``) and
+        exact: ``compute(persist(v))`` is value-identical to ``v``.
+        """
+
+    @abstractmethod
+    def compute(self, value: Any) -> Any:
+        """Physical → logical: materialize a value for kernel use."""
+
+    def to_wire(self, value: Any) -> Any:
+        """Physical → picklable wire form (procpool IPC)."""
+        return value
+
+    def from_wire(self, value: Any) -> Any:
+        """Wire → physical (inverse of :meth:`to_wire`)."""
+        return value
+
+    # -- construction / combination ------------------------------------
+    def df_like(self, data: dict, index=None, columns=None) -> Any:
+        """Build a physical dataframe chunk from column arrays."""
+        return self.persist(DataFrame(data, index=index, columns=columns))
+
+    def empty_like(self, value: Any) -> Any:
+        """An empty physical chunk with ``value``'s schema."""
+        frame = self.compute(value)
+        if isinstance(frame, DataFrame):
+            return self.persist(frame.iloc[0:0])
+        if isinstance(frame, Series):
+            return self.persist(frame.iloc[0:0])
+        if isinstance(frame, np.ndarray):
+            return frame[0:0]
+        return frame
+
+    def concat(self, values: list) -> Any:
+        """Concatenate physical chunks row-wise into one physical chunk."""
+        if len(values) == 1:
+            return values[0]
+        return self.persist(frame_concat([self.compute(v) for v in values]))
+
+    def take(self, value: Any, indexer: np.ndarray) -> Any:
+        """Row gather of a physical chunk by positional indexer."""
+        frame = self.compute(value)
+        return self.persist(frame.iloc[indexer])
+
+    def map_objects(self, value: Any, fn: Callable[[Any], Any]) -> Any:
+        """Apply ``fn`` to the logical value; re-persist the result."""
+        return self.persist(fn(self.compute(value)))
+
+    # -- shuffle partition kernels -------------------------------------
+    @abstractmethod
+    def hash_partition(self, value: Any, key: Any, n_parts: int,
+                       vectorized: bool = True) -> np.ndarray:
+        """Per-row partition ids of ``value``'s ``key`` column by the
+        deterministic content hash.  Backend-invariant: every engine
+        must produce the draws of ``repro.frame.hashing`` over the
+        *decoded* key values."""
+
+    @abstractmethod
+    def range_partition(self, value: Any, key: Any, boundaries: list,
+                        vectorized: bool = True) -> np.ndarray:
+        """Per-row partition ids by search over sampled boundaries."""
+
+    @abstractmethod
+    def split(self, value: Any, assignment: np.ndarray, n_parts: int,
+              vectorized: bool = True) -> list:
+        """Split a physical chunk into ``n_parts`` physical chunks."""
+
+    # -- introspection / accounting ------------------------------------
+    def sizeof(self, value: Any) -> int:
+        """Byte size of a physical value (storage/meta accounting)."""
+        return sizeof(value)
+
+    def describe(self, value: Any, extra: dict | None = None) -> dict:
+        """Schema facts of a physical value (see :func:`describe_value`)."""
+        return describe_value(value, extra)
+
+    def columns_of(self, value: Any) -> Optional[list]:
+        frame = self.compute(value)
+        if isinstance(frame, DataFrame):
+            return frame.columns.to_list()
+        return None
+
+    def dtypes_of(self, value: Any) -> Optional[dict]:
+        frame = self.compute(value)
+        if isinstance(frame, DataFrame):
+            return {c: frame._data[c].dtype for c in frame._columns}
+        if isinstance(frame, Series):
+            return {frame.name: frame.dtype}
+        return None
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_ENGINES: dict[str, ChunkEngine] = {}
+
+
+def register_engine(engine: ChunkEngine) -> ChunkEngine:
+    """Register an engine singleton under ``engine.name``."""
+    _ENGINES[engine.name] = engine
+    return engine
+
+
+def get_engine(name: str = "row") -> ChunkEngine:
+    """The engine registered as ``name`` (``Config.chunk_engine``)."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chunk engine {name!r}; registered: "
+            f"{sorted(_ENGINES)}"
+        ) from None
+
+
+def engine_of(config) -> ChunkEngine:
+    """The engine a :class:`~repro.config.Config` selects."""
+    return get_engine(getattr(config, "chunk_engine", "row"))
+
+
+def compiled_fusion_enabled(config) -> bool:
+    """Whether this config may compile fused steps to evaluators.
+
+    The one structural decision the accounting walk and the band/pool
+    runners must agree on — both call this, never ``config.compiled_fusion``
+    directly, so a non-row engine degrades every path to interpretation
+    identically.
+    """
+    return bool(getattr(config, "compiled_fusion", False)) \
+        and engine_of(config).supports_compiled_fusion
+
+
+def persist_result(engine: ChunkEngine, op, result: Any) -> Any:
+    """Persist an operator kernel's result before it enters the env.
+
+    Handles the multi-output convention (``{chunk_key: value}`` keyed by
+    the op's own output keys) the kernel loops already use.
+    """
+    if isinstance(result, dict) and result and all(
+        k in {o.key for o in op.outputs} for k in result
+    ):
+        return {key: engine.persist(value) for key, value in result.items()}
+    return engine.persist(result)
+
+
+# ---------------------------------------------------------------------------
+# schema introspection (meta service)
+# ---------------------------------------------------------------------------
+
+#: physical-type describers contributed by engine backends:
+#: ``type -> fn(value, extra) -> dict`` of ChunkMeta fields.
+_DESCRIBERS: dict[type, Callable[[Any, dict], dict]] = {}
+
+
+def register_describer(cls: type,
+                       fn: Callable[[Any, dict], dict]) -> None:
+    _DESCRIBERS[cls] = fn
+
+
+def describe_value(value: Any, extra: dict | None = None) -> dict:
+    """Engine-dispatched schema facts of an executed chunk value.
+
+    Returns the field dict of a :class:`repro.core.meta.ChunkMeta`
+    (shape/nbytes/kind/dtype/columns/extra).  Backends register
+    describers for their physical types so columnar chunks report their
+    schema without decoding.
+    """
+    extra = dict(extra or {})
+    describer = _DESCRIBERS.get(type(value))
+    if describer is not None:
+        return describer(value, extra)
+    if isinstance(value, DataFrame):
+        return dict(shape=value.shape, nbytes=sizeof(value),
+                    kind="dataframe", columns=value.columns.to_list(),
+                    extra=extra)
+    if isinstance(value, Series):
+        return dict(shape=value.shape, nbytes=sizeof(value), kind="series",
+                    dtype=value.dtype, extra=extra)
+    if isinstance(value, np.ndarray):
+        return dict(shape=value.shape, nbytes=sizeof(value), kind="tensor",
+                    dtype=value.dtype, extra=extra)
+    if isinstance(value, (list, tuple, dict)):
+        return dict(shape=(), nbytes=sizeof(value), kind="scalar",
+                    extra=extra)
+    return dict(shape=(), nbytes=sizeof(value), kind="scalar",
+                dtype=getattr(value, "dtype", None), extra=extra)

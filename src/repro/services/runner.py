@@ -30,6 +30,7 @@ from typing import Any
 from ..core.dispatch import SubtaskComputation
 from ..core.operator import ExecContext
 from ..core.opfusion import compile_step, plan_subtask
+from ..engine.base import compiled_fusion_enabled, engine_of, persist_result
 from .base import ServiceActor
 
 
@@ -43,13 +44,19 @@ def run_subtask_kernels(subtask, inputs: dict[str, Any],
     evaluator: only the step's final result is recorded, intermediates
     live and die as locals of the compiled function.
     """
+    engine = engine_of(config)
     env: dict[str, Any] = dict(inputs)
     steps = plan_subtask(subtask, enable=config.operator_fusion)
     executed_ops: set[int] = set()
     op_results: dict[int, Any] = {}
     op_extra: dict[int, dict[str, dict]] = {}
+    # compiled evaluators run against raw env values, so fusion codegen
+    # is gated on the engine (row-only); the gate is the shared
+    # compiled_fusion_enabled so every runner and the accounting walk
+    # take the same branch for one config.
+    use_compiled = compiled_fusion_enabled(config)
     for step in steps:
-        compiled = compile_step(step) if config.compiled_fusion else None
+        compiled = compile_step(step) if use_compiled else None
         if compiled is not None:
             result = compiled.run(env)
             env[compiled.output_key] = result
@@ -64,7 +71,10 @@ def run_subtask_kernels(subtask, inputs: dict[str, Any],
                 continue
             executed_ops.add(id(op))
             ctx = ExecContext(env, config)
-            result = op.execute(ctx)
+            # results enter the env in physical (engine-encoded) form:
+            # downstream ctx.get decodes, storage/wire/sizeof see the
+            # encoded value.
+            result = persist_result(engine, op, op.execute(ctx))
             if isinstance(result, dict) and result and all(
                 k in {o.key for o in op.outputs} for k in result
             ):

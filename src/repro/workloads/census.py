@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..frame import DataFrame as LocalFrame
+from ..engine.local import DataFrame as LocalFrame
 
 EDUCATION_LEVELS = ["HS", "Bachelors", "Masters", "PhD", "None"]
 STATES = [f"ST{i:02d}" for i in range(51)]

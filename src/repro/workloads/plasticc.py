@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..frame import DataFrame as LocalFrame
+from ..engine.local import DataFrame as LocalFrame
 
 
 def generate_plasticc(n_objects: int = 2_000, points_per_object: int = 30,

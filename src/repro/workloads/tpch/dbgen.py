@@ -14,8 +14,7 @@ from typing import Mapping
 
 import numpy as np
 
-from ...frame import DataFrame
-from ...frame.index import RangeIndex
+from ...engine.local import DataFrame, RangeIndex
 from . import schema
 
 

@@ -203,7 +203,7 @@ def q7(t):
             ["supp_nation", "cust_nation", "l_year"], as_index=False
         ).agg({"volume": "sum"})
         out_parts.append(materialize(part))
-    from ...frame import concat as local_concat
+    from ...engine.local import concat as local_concat
 
     merged = local_concat(out_parts, ignore_index=True)
     return merged.sort_values(["supp_nation", "cust_nation", "l_year"])

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..frame import DataFrame as LocalFrame
+from ..engine.local import DataFrame as LocalFrame
 
 
 def generate_uc10(n_customers: int = 200, n_transactions: int = 60_000,

@@ -13,6 +13,13 @@ This script walks ``src/repro`` with ``ast`` and fails (exit 1) on any
 runtime import of a guarded class outside its allowlist.  Imports inside
 ``if TYPE_CHECKING:`` blocks are exempt: annotations are not calls.
 
+A second rule guards the chunk-engine seam: outside ``repro/frame/``
+and ``repro/engine/``, importing ``repro.frame`` (directly or via a
+relative import) is an error.  Operator and service code must go
+through ``repro.engine.local`` (the row-space API re-export) or an
+engine handle, so a chunk backend can be swapped without touching the
+planes above it.
+
 Run from the repository root (CI runs it next to ruff)::
 
     python tools/check_service_boundaries.py
@@ -55,6 +62,34 @@ ALLOWED = {
     "SubtaskRunner": {"repro/services/", "repro/core/executor.py"},
 }
 
+#: module subtrees allowed to import ``repro.frame`` directly; everyone
+#: else must use ``repro.engine.local`` or an engine handle.
+FRAME_ALLOWED_PREFIXES = ("repro/frame/", "repro/engine/")
+
+
+def _module_parts(rel_path: str) -> list[str]:
+    """Dotted package parts of the *package containing* ``rel_path``."""
+    parts = rel_path.split("/")
+    parts[-1] = parts[-1][: -len(".py")]
+    # ``__init__`` lives *in* its package; a plain module lives one level
+    # below its package — either way, drop exactly the final component.
+    return parts[:-1]
+
+
+def _resolve_import(rel_path: str, level: int, module: str | None) -> str:
+    """Absolute dotted module targeted by an import statement."""
+    if level == 0:
+        return module or ""
+    base = _module_parts(rel_path)
+    if level > 1:
+        base = base[: len(base) - (level - 1)]
+    suffix = module.split(".") if module else []
+    return ".".join(base + suffix)
+
+
+def _is_frame(module: str) -> bool:
+    return module == "repro.frame" or module.startswith("repro.frame.")
+
 
 def _type_checking_spans(tree: ast.Module) -> list[tuple[int, int]]:
     """Line ranges of ``if TYPE_CHECKING:`` bodies (exempt imports)."""
@@ -86,11 +121,29 @@ def check_file(path: Path) -> list[str]:
     tree = ast.parse(path.read_text(), filename=str(path))
     exempt = _type_checking_spans(tree)
     violations = []
+    frame_ok = rel_path.startswith(FRAME_ALLOWED_PREFIXES)
     for node in ast.walk(tree):
-        if not isinstance(node, ast.ImportFrom):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
             continue
         if any(lo <= node.lineno <= hi for lo, hi in exempt):
             continue
+        if isinstance(node, ast.Import):
+            if not frame_ok:
+                for alias in node.names:
+                    if _is_frame(alias.name):
+                        violations.append(_frame_violation(
+                            path, node.lineno, alias.name, rel_path))
+            continue
+        if not frame_ok:
+            resolved = _resolve_import(rel_path, node.level, node.module)
+            if _is_frame(resolved):
+                violations.append(_frame_violation(
+                    path, node.lineno, resolved, rel_path))
+            elif resolved == "repro":
+                for alias in node.names:
+                    if alias.name == "frame":
+                        violations.append(_frame_violation(
+                            path, node.lineno, "repro.frame", rel_path))
         for alias in node.names:
             name = alias.name
             if name in ALLOWED and not _allowed(name, rel_path):
@@ -100,6 +153,16 @@ def check_file(path: Path) -> list[str]:
                     f"{sorted(ALLOWED[name])}, not {rel_path}"
                 )
     return violations
+
+
+def _frame_violation(path: Path, lineno: int, module: str,
+                     rel_path: str) -> str:
+    return (
+        f"{path.relative_to(SRC_ROOT.parent)}:{lineno}: "
+        f"{module} may only be imported under "
+        f"{sorted(FRAME_ALLOWED_PREFIXES)}, not {rel_path} — "
+        f"use repro.engine.local or an engine handle"
+    )
 
 
 def main() -> int:
